@@ -1,0 +1,112 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the pipeline:
+// compilation/optimization throughput, span computation, bandit ranking,
+// and the bitvector primitives everything rests on.
+#include <benchmark/benchmark.h>
+
+#include "bandit/personalizer.h"
+#include "common/bitvector.h"
+#include "core/span.h"
+#include "engine/engine.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace qo;  // NOLINT
+
+const workload::WorkloadDriver& Driver() {
+  static const auto* driver = new workload::WorkloadDriver(
+      {.num_templates = 20, .jobs_per_day = 30, .seed = 99});
+  return *driver;
+}
+
+const std::vector<workload::JobInstance>& Jobs() {
+  static const auto* jobs =
+      new std::vector<workload::JobInstance>(Driver().DayJobs(0));
+  return *jobs;
+}
+
+void BM_CompileDefaultConfig(benchmark::State& state) {
+  engine::ScopeEngine engine;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto out =
+        engine.Compile(Jobs()[i % Jobs().size()], opt::RuleConfig::Default());
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+}
+BENCHMARK(BM_CompileDefaultConfig);
+
+void BM_CompileWithFlip(benchmark::State& state) {
+  engine::ScopeEngine engine;
+  auto config =
+      opt::RuleConfig::DefaultWithFlip(opt::rules::kEagerAggregationLeft);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto out = engine.Compile(Jobs()[i % Jobs().size()], config);
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+}
+BENCHMARK(BM_CompileWithFlip);
+
+void BM_ExecuteSimulation(benchmark::State& state) {
+  engine::ScopeEngine engine;
+  auto compiled = engine.Compile(Jobs()[0], opt::RuleConfig::Default());
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    auto m = engine.Execute(Jobs()[0], compiled->plan, salt++);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_ExecuteSimulation);
+
+void BM_SpanComputation(benchmark::State& state) {
+  engine::ScopeEngine engine;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto span = advisor::ComputeJobSpan(engine, Jobs()[i % Jobs().size()]);
+    benchmark::DoNotOptimize(span);
+    ++i;
+  }
+}
+BENCHMARK(BM_SpanComputation);
+
+void BM_PersonalizerRank(benchmark::State& state) {
+  bandit::PersonalizerService service({.seed = 3});
+  bandit::JobContext ctx;
+  ctx.span = BitVector256::FromPositions({41, 44, 50, 160, 203, 204});
+  ctx.row_count = 1e8;
+  ctx.est_cost = 1e4;
+  bandit::FeatureVector shared = bandit::BuildContextFeatures(ctx);
+  std::vector<bandit::RankableAction> actions;
+  for (int bit : ctx.span.Positions()) {
+    actions.push_back({std::to_string(bit),
+                       bandit::BuildActionFeatures(bit, false)});
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    bandit::RankRequest req;
+    req.event_id = "e" + std::to_string(i++);
+    req.context = shared;
+    req.actions = actions;
+    auto resp = service.Rank(req);
+    benchmark::DoNotOptimize(resp);
+  }
+}
+BENCHMARK(BM_PersonalizerRank);
+
+void BM_BitVectorOps(benchmark::State& state) {
+  BitVector256 a = BitVector256::FromPositions({1, 50, 100, 200, 255});
+  BitVector256 b = BitVector256::FirstN(128);
+  for (auto _ : state) {
+    auto c = (a | b).AndNot(a ^ b);
+    benchmark::DoNotOptimize(c.Count());
+    benchmark::DoNotOptimize(c.Positions());
+  }
+}
+BENCHMARK(BM_BitVectorOps);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+#include "bandit/cb_model.h"
+
+#include <algorithm>
+
+namespace qo::bandit {
+
+CbModel::CbModel(CbModelConfig config) : config_(config) {
+  weights_.assign(FeatureVector::kDim, 0.0f);
+}
+
+double CbModel::Score(
+    const std::vector<std::pair<uint32_t, double>>& features) const {
+  double s = 0.0;
+  for (const auto& [i, v] : features) {
+    s += static_cast<double>(weights_[i]) * v;
+  }
+  return s;
+}
+
+void CbModel::TrainEpoch(const std::vector<LoggedExample>& examples) {
+  for (const LoggedExample& ex : examples) {
+    double iw = 1.0 / std::max(ex.probability, 1e-6);
+    iw = std::min(iw, config_.max_importance_weight);
+    double pred = Score(ex.features);
+    // Normalized LMS: scale by the squared feature norm so one update moves
+    // the prediction by at most (learning_rate * iw) of the error,
+    // regardless of how many hashed features are active.
+    double norm_sq = 0.0;
+    for (const auto& [i, v] : ex.features) norm_sq += v * v;
+    double grad_scale = config_.learning_rate * iw * (ex.reward - pred) /
+                        std::max(1.0, norm_sq);
+    for (const auto& [i, v] : ex.features) {
+      float& w = weights_[i];
+      w = static_cast<float>(w * (1.0 - config_.learning_rate * config_.l2) +
+                             grad_scale * v);
+    }
+    ++updates_;
+  }
+}
+
+void CbModel::Train(const std::vector<LoggedExample>& examples) {
+  for (int e = 0; e < config_.epochs; ++e) TrainEpoch(examples);
+}
+
+}  // namespace qo::bandit

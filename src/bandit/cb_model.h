@@ -1,0 +1,58 @@
+// Linear contextual-bandit model with importance-weighted SGD training.
+//
+// Scores (shared, action) feature pairs with a hashed linear model; learns
+// from logged (features, reward, logging-probability) triples using inverse
+// propensity scoring — the standard off-policy reduction to regression
+// (paper Sec. 3.1, [2, 40]).
+#ifndef QO_BANDIT_CB_MODEL_H_
+#define QO_BANDIT_CB_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bandit/features.h"
+
+namespace qo::bandit {
+
+/// One logged interaction, ready for training.
+struct LoggedExample {
+  std::vector<std::pair<uint32_t, double>> features;  ///< combined features
+  double reward = 0.0;
+  double probability = 1.0;  ///< probability the logging policy chose this
+};
+
+struct CbModelConfig {
+  double learning_rate = 0.05;
+  double l2 = 1e-6;
+  int epochs = 3;
+  /// IPS weights are clipped at this value to bound variance.
+  double max_importance_weight = 10.0;
+};
+
+/// The hashed linear scorer.
+class CbModel {
+ public:
+  explicit CbModel(CbModelConfig config = {});
+
+  /// Predicted reward for a combined feature vector.
+  double Score(const std::vector<std::pair<uint32_t, double>>& features) const;
+
+  /// One SGD pass over the examples with IPS weighting (examples with low
+  /// logging probability get up-weighted, subject to clipping).
+  void TrainEpoch(const std::vector<LoggedExample>& examples);
+
+  /// Runs config.epochs passes.
+  void Train(const std::vector<LoggedExample>& examples);
+
+  size_t updates() const { return updates_; }
+  const CbModelConfig& config() const { return config_; }
+
+ private:
+  CbModelConfig config_;
+  std::vector<float> weights_;
+  size_t updates_ = 0;
+};
+
+}  // namespace qo::bandit
+
+#endif  // QO_BANDIT_CB_MODEL_H_

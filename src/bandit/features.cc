@@ -1,0 +1,115 @@
+#include "bandit/features.h"
+
+#include <cmath>
+
+#include "optimizer/rules.h"
+
+namespace qo::bandit {
+
+uint64_t HashFeatureName(const std::string& name) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void FeatureVector::AddNamed(const std::string& name, double value) {
+  Add(static_cast<uint32_t>(HashFeatureName(name)), value);
+}
+
+namespace {
+
+int LogBucket(double v) {
+  if (v <= 1.0) return 0;
+  return static_cast<int>(std::log10(v));
+}
+
+uint32_t MixPair(int a, int b) {
+  uint64_t h = (static_cast<uint64_t>(a) + 1) * 0x9e3779b97f4a7c15ULL;
+  h ^= (static_cast<uint64_t>(b) + 1) * 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 29;
+  return static_cast<uint32_t>(h);
+}
+
+uint32_t MixTriple(int a, int b, int c) {
+  uint64_t h = MixPair(a, b);
+  h = h * 0x94d049bb133111ebULL + (static_cast<uint64_t>(c) + 1);
+  h ^= h >> 31;
+  return static_cast<uint32_t>(h);
+}
+
+}  // namespace
+
+FeatureVector BuildContextFeatures(const JobContext& context) {
+  FeatureVector f;
+  std::vector<int> span_bits = context.span.Positions();
+
+  // First-order span indicators.
+  for (int b : span_bits) {
+    f.AddNamed("span_" + std::to_string(b), 1.0);
+  }
+  // Second and third order co-occurrence indicators — "critical to our
+  // success" (paper Sec. 6). Triples are capped to keep vectors small on
+  // long-tailed spans.
+  for (size_t i = 0; i < span_bits.size(); ++i) {
+    for (size_t j = i + 1; j < span_bits.size(); ++j) {
+      f.Add(0x40000000u ^ MixPair(span_bits[i], span_bits[j]), 1.0);
+    }
+  }
+  const size_t kTripleCap = 12;
+  size_t n3 = std::min(span_bits.size(), kTripleCap);
+  for (size_t i = 0; i < n3; ++i) {
+    for (size_t j = i + 1; j < n3; ++j) {
+      for (size_t k = j + 1; k < n3; ++k) {
+        f.Add(0x80000000u ^
+                  MixTriple(span_bits[i], span_bits[j], span_bits[k]),
+              1.0);
+      }
+    }
+  }
+  // Input-stream properties give marginal improvement (Sec. 3.2).
+  f.AddNamed("rowcount_b" + std::to_string(LogBucket(context.row_count)), 1.0);
+  f.AddNamed("estcost_b" + std::to_string(LogBucket(context.est_cost)), 1.0);
+  f.AddNamed("read_b" + std::to_string(LogBucket(context.bytes_read)), 1.0);
+  f.AddNamed("vertices_b" +
+                 std::to_string(LogBucket(context.total_vertices)),
+             1.0);
+  f.AddNamed("bias", 1.0);
+  return f;
+}
+
+FeatureVector BuildActionFeatures(int rule_id, bool is_noop) {
+  FeatureVector f;
+  if (is_noop) {
+    f.AddNamed("action_noop", 1.0);
+    return f;
+  }
+  f.AddNamed("action_rule_" + std::to_string(rule_id), 1.0);
+  const auto& registry = opt::RuleRegistry::Get();
+  f.AddNamed(std::string("action_cat_") +
+                 opt::RuleCategoryToString(registry.category(rule_id)),
+             1.0);
+  return f;
+}
+
+std::vector<std::pair<uint32_t, double>> CombineFeatures(
+    const FeatureVector& shared, const FeatureVector& action) {
+  std::vector<std::pair<uint32_t, double>> combined;
+  combined.reserve(shared.size() + action.size() +
+                   shared.size() * action.size());
+  for (const auto& [i, v] : shared.entries) combined.emplace_back(i, v);
+  for (const auto& [i, v] : action.entries) combined.emplace_back(i, v);
+  // Quadratic shared x action interactions.
+  for (const auto& [si, sv] : shared.entries) {
+    for (const auto& [ai, av] : action.entries) {
+      uint32_t idx = MixPair(static_cast<int>(si), static_cast<int>(ai)) %
+                     FeatureVector::kDim;
+      combined.emplace_back(idx, sv * av);
+    }
+  }
+  return combined;
+}
+
+}  // namespace qo::bandit

@@ -1,0 +1,63 @@
+// Sparse feature vectors and the QO-Advisor featurizer.
+//
+// The paper's key representation finding (Sec. 6): complex plan
+// featurizations were ineffective, while the *job span itself* — the set of
+// rule bits that can affect the plan — plus second and third order
+// co-occurrence indicators over the span was critical. We reproduce that
+// featurization, plus the marginal input-stream properties (row counts) of
+// Sec. 3.2.
+#ifndef QO_BANDIT_FEATURES_H_
+#define QO_BANDIT_FEATURES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace qo::bandit {
+
+/// Hashed sparse feature vector (feature hashing into a fixed space).
+struct FeatureVector {
+  static constexpr uint32_t kDim = 1u << 18;
+
+  std::vector<std::pair<uint32_t, double>> entries;
+
+  void Add(uint32_t index, double value) {
+    entries.emplace_back(index % kDim, value);
+  }
+  /// Adds a named feature via hashing.
+  void AddNamed(const std::string& name, double value);
+
+  size_t size() const { return entries.size(); }
+};
+
+/// Stable 64-bit string hash (FNV-1a).
+uint64_t HashFeatureName(const std::string& name);
+
+/// Context features for one job.
+struct JobContext {
+  BitVector256 span;          ///< the job span (Sec. 2.1)
+  double row_count = 0.0;     ///< summed actual row counts (Table 1)
+  double est_cost = 0.0;      ///< default-config estimated cost
+  double bytes_read = 0.0;
+  int total_vertices = 0;
+};
+
+/// Builds the shared (context) features: span indicators, 2nd/3rd order span
+/// co-occurrences, and log-bucketed input-stream properties.
+FeatureVector BuildContextFeatures(const JobContext& context);
+
+/// Builds the per-action features: the flipped rule's id and category
+/// (Sec. 4.2), or the dedicated no-op indicator for action 0.
+FeatureVector BuildActionFeatures(int rule_id, bool is_noop);
+
+/// Dot-product helper combining shared and action features with quadratic
+/// (shared x action) interactions, mirroring VW's `-q` pairing that Azure
+/// Personalizer uses.
+std::vector<std::pair<uint32_t, double>> CombineFeatures(
+    const FeatureVector& shared, const FeatureVector& action);
+
+}  // namespace qo::bandit
+
+#endif  // QO_BANDIT_FEATURES_H_

@@ -1,0 +1,131 @@
+#include "bandit/personalizer.h"
+
+#include <algorithm>
+
+namespace qo::bandit {
+
+PersonalizerService::PersonalizerService(PersonalizerConfig config)
+    : config_(config), model_(config.model), rng_(config.seed) {}
+
+Result<RankResponse> PersonalizerService::Rank(const RankRequest& request) {
+  if (request.actions.empty()) {
+    return Status::InvalidArgument("Rank requires at least one action");
+  }
+  if (event_index_.count(request.event_id) > 0) {
+    return Status::InvalidArgument("duplicate event id: " + request.event_id);
+  }
+  LoggedEvent ev;
+  ev.action_features.reserve(request.actions.size());
+  for (const auto& action : request.actions) {
+    ev.action_features.push_back(
+        CombineFeatures(request.context, action.features));
+  }
+  const size_t n = request.actions.size();
+  size_t chosen;
+  double probability;
+  if (request.explore_uniform) {
+    chosen = rng_.UniformInt(n);
+    probability = 1.0 / static_cast<double>(n);
+  } else {
+    size_t best = BestAction(ev, &rng_);
+    if (rng_.Bernoulli(config_.epsilon)) {
+      chosen = rng_.UniformInt(n);
+    } else {
+      chosen = best;
+    }
+    double uniform_part = config_.epsilon / static_cast<double>(n);
+    probability = chosen == best ? (1.0 - config_.epsilon) + uniform_part
+                                 : uniform_part;
+  }
+  ev.chosen = chosen;
+  ev.probability = probability;
+  event_index_[request.event_id] = log_.size();
+  log_.push_back(std::move(ev));
+
+  RankResponse resp;
+  resp.event_id = request.event_id;
+  resp.chosen_index = chosen;
+  resp.chosen_action_id = request.actions[chosen].action_id;
+  resp.probability = probability;
+  return resp;
+}
+
+size_t PersonalizerService::BestAction(const LoggedEvent& ev,
+                                       Rng* rng) const {
+  constexpr double kTieTolerance = 1e-9;
+  size_t best = 0;
+  double best_score = -1e300;
+  size_t ties = 0;
+  for (size_t i = 0; i < ev.action_features.size(); ++i) {
+    double s = model_.Score(ev.action_features[i]);
+    if (s > best_score + kTieTolerance) {
+      best_score = s;
+      best = i;
+      ties = 1;
+    } else if (rng != nullptr && s > best_score - kTieTolerance) {
+      // Reservoir-sample among near-ties for uniform cold-start ranking.
+      ++ties;
+      if (rng->UniformInt(ties) == 0) best = i;
+    }
+  }
+  return best;
+}
+
+Status PersonalizerService::Reward(const std::string& event_id,
+                                   double reward) {
+  auto it = event_index_.find(event_id);
+  if (it == event_index_.end()) {
+    return Status::NotFound("unknown event id: " + event_id);
+  }
+  LoggedEvent& ev = log_[it->second];
+  if (ev.has_reward) {
+    return Status::FailedPrecondition("event already rewarded: " + event_id);
+  }
+  ev.has_reward = true;
+  ev.reward = reward;
+  ++rewarded_;
+  if (rewarded_ - rewarded_at_last_train_ >= config_.retrain_interval) {
+    Retrain();
+  }
+  return Status::OK();
+}
+
+void PersonalizerService::Retrain() {
+  std::vector<LoggedExample> examples;
+  examples.reserve(rewarded_);
+  for (const LoggedEvent& ev : log_) {
+    if (!ev.has_reward) continue;
+    LoggedExample ex;
+    ex.features = ev.action_features[ev.chosen];
+    ex.reward = ev.reward;
+    ex.probability = ev.probability;
+    examples.push_back(std::move(ex));
+  }
+  model_.Train(examples);
+  rewarded_at_last_train_ = rewarded_;
+}
+
+Result<PersonalizerService::OfflineEvaluation>
+PersonalizerService::EvaluateOffline() const {
+  OfflineEvaluation eval;
+  double ips_sum = 0.0;
+  double logged_sum = 0.0;
+  for (const LoggedEvent& ev : log_) {
+    if (!ev.has_reward) continue;
+    ++eval.events;
+    logged_sum += ev.reward;
+    // IPS: reward counts only when the target (greedy) policy agrees with
+    // the logged action, re-weighted by the logging propensity.
+    if (BestAction(ev, nullptr) == ev.chosen) {
+      ips_sum += ev.reward / std::max(ev.probability, 1e-6);
+    }
+  }
+  if (eval.events == 0) {
+    return Status::FailedPrecondition("no rewarded events to evaluate");
+  }
+  eval.logged_average_reward = logged_sum / static_cast<double>(eval.events);
+  eval.policy_ips_estimate = ips_sum / static_cast<double>(eval.events);
+  return eval;
+}
+
+}  // namespace qo::bandit

@@ -1,0 +1,113 @@
+// A local stand-in for the Azure Personalizer service (paper Sec. 4.2 /
+// Sec. 6 "Do not reinvent the wheel").
+//
+// Exposes the same contract QO-Advisor depends on:
+//  - Rank(context, actions) -> (chosen action, probability, event id),
+//  - Reward(event id, reward) joined against a high-fidelity event log,
+//  - periodic retraining of the underlying contextual bandit model,
+//  - counterfactual (IPS) evaluation of a policy over the logged data.
+#ifndef QO_BANDIT_PERSONALIZER_H_
+#define QO_BANDIT_PERSONALIZER_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bandit/cb_model.h"
+#include "bandit/features.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace qo::bandit {
+
+/// One rankable action.
+struct RankableAction {
+  std::string action_id;
+  FeatureVector features;
+};
+
+struct RankRequest {
+  std::string event_id;
+  FeatureVector context;
+  std::vector<RankableAction> actions;
+  /// When true, the service ranks uniformly at random regardless of the
+  /// model — the logging arm of the paper's off-policy design (Sec. 4.2).
+  bool explore_uniform = false;
+};
+
+struct RankResponse {
+  std::string event_id;
+  size_t chosen_index = 0;
+  std::string chosen_action_id;
+  double probability = 1.0;  ///< propensity of the chosen action
+};
+
+struct PersonalizerConfig {
+  /// Exploration rate of the learned policy (epsilon-greedy).
+  double epsilon = 0.10;
+  CbModelConfig model;
+  uint64_t seed = 7;
+  /// Retrain after this many new rewarded events.
+  size_t retrain_interval = 256;
+};
+
+/// The service. Thread-compatible, not thread-safe (matches the offline
+/// daily-pipeline usage).
+class PersonalizerService {
+ public:
+  explicit PersonalizerService(PersonalizerConfig config = {});
+
+  /// Ranks the actions; logs the decision for later reward joining.
+  /// InvalidArgument when the request has no actions or a duplicate event id.
+  Result<RankResponse> Rank(const RankRequest& request);
+
+  /// Attaches a reward to a previously ranked event. NotFound for unknown
+  /// event ids; FailedPrecondition for already-rewarded events.
+  Status Reward(const std::string& event_id, double reward);
+
+  /// Forces a retrain over all rewarded events.
+  void Retrain();
+
+  /// Counterfactual IPS estimate of the *current greedy policy*'s average
+  /// reward over the logged data, and of the logging baseline. Requires at
+  /// least one rewarded event.
+  struct OfflineEvaluation {
+    double logged_average_reward = 0.0;
+    double policy_ips_estimate = 0.0;
+    size_t events = 0;
+  };
+  Result<OfflineEvaluation> EvaluateOffline() const;
+
+  size_t logged_events() const { return log_.size(); }
+  size_t rewarded_events() const { return rewarded_; }
+  const CbModel& model() const { return model_; }
+
+ private:
+  struct LoggedEvent {
+    std::vector<std::vector<std::pair<uint32_t, double>>> action_features;
+    size_t chosen = 0;
+    double probability = 1.0;
+    bool has_reward = false;
+    double reward = 0.0;
+  };
+
+  /// Greedy argmax under the current model. Near-ties are broken uniformly
+  /// at random when `rng` is provided — an untrained model therefore ranks
+  /// uniformly-at-random, exactly the CB cold-start behaviour the paper
+  /// describes (Sec. 3.1). Pass nullptr for deterministic (first-wins)
+  /// selection, used by offline evaluation.
+  size_t BestAction(const LoggedEvent& ev, Rng* rng) const;
+
+  PersonalizerConfig config_;
+  CbModel model_;
+  Rng rng_;
+  std::vector<LoggedEvent> log_;
+  std::unordered_map<std::string, size_t> event_index_;
+  size_t rewarded_ = 0;
+  size_t rewarded_at_last_train_ = 0;
+};
+
+}  // namespace qo::bandit
+
+#endif  // QO_BANDIT_PERSONALIZER_H_

@@ -1,0 +1,158 @@
+// Fixed-width 256-bit vector used for optimizer rule signatures and rule
+// configurations (the SCOPE optimizer in the paper has exactly 256 rules).
+#ifndef QO_COMMON_BITVECTOR_H_
+#define QO_COMMON_BITVECTOR_H_
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qo {
+
+/// A compact set of up to 256 bit positions with value semantics.
+///
+/// Used as both a *rule signature* (bits = rules that contributed to the
+/// final plan) and a *rule configuration* (bits = rules enabled for a
+/// compilation). Equality, hashing and set algebra are all O(1) over the
+/// four underlying 64-bit words.
+class BitVector256 {
+ public:
+  static constexpr int kBits = 256;
+
+  constexpr BitVector256() : words_{0, 0, 0, 0} {}
+
+  /// Builds a vector with the given positions set. Positions must be in
+  /// [0, 256).
+  static BitVector256 FromPositions(const std::vector<int>& positions) {
+    BitVector256 v;
+    for (int p : positions) v.Set(p);
+    return v;
+  }
+
+  /// Builds a vector with all bits in [0, n) set.
+  static BitVector256 FirstN(int n) {
+    BitVector256 v;
+    for (int i = 0; i < n; ++i) v.Set(i);
+    return v;
+  }
+
+  void Set(int pos) {
+    assert(pos >= 0 && pos < kBits);
+    words_[pos >> 6] |= (uint64_t{1} << (pos & 63));
+  }
+  void Clear(int pos) {
+    assert(pos >= 0 && pos < kBits);
+    words_[pos >> 6] &= ~(uint64_t{1} << (pos & 63));
+  }
+  void Flip(int pos) {
+    assert(pos >= 0 && pos < kBits);
+    words_[pos >> 6] ^= (uint64_t{1} << (pos & 63));
+  }
+  bool Test(int pos) const {
+    assert(pos >= 0 && pos < kBits);
+    return (words_[pos >> 6] >> (pos & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  int Count() const {
+    int c = 0;
+    for (uint64_t w : words_) c += std::popcount(w);
+    return c;
+  }
+
+  bool None() const {
+    return (words_[0] | words_[1] | words_[2] | words_[3]) == 0;
+  }
+  bool Any() const { return !None(); }
+
+  /// All set positions, ascending.
+  std::vector<int> Positions() const {
+    std::vector<int> out;
+    out.reserve(Count());
+    for (int w = 0; w < 4; ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = std::countr_zero(word);
+        out.push_back(w * 64 + bit);
+        word &= word - 1;
+      }
+    }
+    return out;
+  }
+
+  BitVector256 operator|(const BitVector256& o) const {
+    BitVector256 r;
+    for (int i = 0; i < 4; ++i) r.words_[i] = words_[i] | o.words_[i];
+    return r;
+  }
+  BitVector256 operator&(const BitVector256& o) const {
+    BitVector256 r;
+    for (int i = 0; i < 4; ++i) r.words_[i] = words_[i] & o.words_[i];
+    return r;
+  }
+  BitVector256 operator^(const BitVector256& o) const {
+    BitVector256 r;
+    for (int i = 0; i < 4; ++i) r.words_[i] = words_[i] ^ o.words_[i];
+    return r;
+  }
+  /// Set difference: bits in *this that are not in `o`.
+  BitVector256 AndNot(const BitVector256& o) const {
+    BitVector256 r;
+    for (int i = 0; i < 4; ++i) r.words_[i] = words_[i] & ~o.words_[i];
+    return r;
+  }
+  BitVector256& operator|=(const BitVector256& o) {
+    for (int i = 0; i < 4; ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+  BitVector256& operator&=(const BitVector256& o) {
+    for (int i = 0; i < 4; ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+
+  bool operator==(const BitVector256& o) const { return words_ == o.words_; }
+  bool operator!=(const BitVector256& o) const { return words_ != o.words_; }
+
+  /// True if every bit of `o` is also set in *this.
+  bool Contains(const BitVector256& o) const {
+    for (int i = 0; i < 4; ++i) {
+      if ((words_[i] & o.words_[i]) != o.words_[i]) return false;
+    }
+    return true;
+  }
+
+  /// '0'/'1' string, bit 0 first (matching the paper's "1100000000" example).
+  std::string ToString(int width = kBits) const {
+    std::string s;
+    s.reserve(width);
+    for (int i = 0; i < width; ++i) s.push_back(Test(i) ? '1' : '0');
+    return s;
+  }
+
+  /// 64-bit mixing hash suitable for unordered containers.
+  uint64_t Hash() const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t w : words_) {
+      h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+    }
+    return h;
+  }
+
+ private:
+  std::array<uint64_t, 4> words_;
+};
+
+struct BitVector256Hasher {
+  size_t operator()(const BitVector256& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+}  // namespace qo
+
+#endif  // QO_COMMON_BITVECTOR_H_

@@ -1,0 +1,125 @@
+// Deterministic random number generation. All stochastic components of the
+// simulator (cluster noise, workload drift, bandit exploration) draw from
+// explicitly seeded Rng instances so every experiment is reproducible.
+#ifndef QO_COMMON_RNG_H_
+#define QO_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace qo {
+
+/// xoshiro256++ generator seeded via splitmix64. Small, fast and good enough
+/// for simulation workloads; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 to spread a single word across the 256-bit state.
+    uint64_t z = seed;
+    for (int i = 0; i < 4; ++i) {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = t ^ (t >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Standard normal via Box-Muller.
+  double Normal() {
+    double u1 = Uniform();
+    double u2 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  /// Lognormal with parameters of the underlying normal.
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Normal(mu, sigma));
+  }
+
+  /// Pareto with scale x_m and shape alpha (heavy-tailed straggler model).
+  double Pareto(double xm, double alpha) {
+    double u = Uniform();
+    if (u < 1e-300) u = 1e-300;
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Exponential with the given rate.
+  double Exponential(double rate) {
+    double u = Uniform();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / rate;
+  }
+
+  /// Zipf-like rank sampling over [0, n) with skew s (s=0 is uniform).
+  uint64_t Zipf(uint64_t n, double s) {
+    // Rejection-free approximate inverse-CDF sampling; adequate for workload
+    // template popularity.
+    double u = Uniform();
+    double x = std::pow(u, 1.0 / (1.0 - s <= 0.05 ? 0.05 : 1.0 - s));
+    uint64_t k = static_cast<uint64_t>(x * static_cast<double>(n));
+    return k >= n ? n - 1 : k;
+  }
+
+  /// Picks one index from [0, weights.size()) proportional to weights.
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = Uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  /// Derives an independent child generator; used to give each job / day /
+  /// vertex its own stream without correlation.
+  Rng Fork(uint64_t salt) {
+    return Rng(Next() ^ (salt * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace qo
+
+#endif  // QO_COMMON_RNG_H_

@@ -1,0 +1,258 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qo {
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv() const {
+  if (n_ == 0 || mean_ == 0.0) return 0.0;
+  return stddev() / std::abs(mean_);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0) return xs.front();
+  if (p >= 100) return xs.back();
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  double mx = Mean(xs);
+  double my = Mean(ys);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mx;
+    double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double FractionBelow(const std::vector<double>& xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  size_t c = 0;
+  for (double x : xs) {
+    if (x < threshold) ++c;
+  }
+  return static_cast<double>(c) / static_cast<double>(xs.size());
+}
+
+double FractionAbove(const std::vector<double>& xs, double threshold) {
+  if (xs.empty()) return 0.0;
+  size_t c = 0;
+  for (double x : xs) {
+    if (x > threshold) ++c;
+  }
+  return static_cast<double>(c) / static_cast<double>(xs.size());
+}
+
+Result<LinearFit> FitLinear(const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("x/y size mismatch");
+  }
+  if (xs.size() < 2) {
+    return Status::InvalidArgument("need at least 2 points");
+  }
+  double mx = Mean(xs);
+  double my = Mean(ys);
+  double sxy = 0, sxx = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  if (sxx == 0) return Status::InvalidArgument("degenerate x values");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  double ss_res = 0, ss_tot = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double pred = fit.Predict(xs[i]);
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - my) * (ys[i] - my);
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 0.0;
+  return fit;
+}
+
+Status SolveLinearSystem(std::vector<std::vector<double>> a,
+                         std::vector<double> b, std::vector<double>* out) {
+  const size_t n = a.size();
+  if (n == 0 || b.size() != n) {
+    return Status::InvalidArgument("bad system dimensions");
+  }
+  for (const auto& row : a) {
+    if (row.size() != n) return Status::InvalidArgument("non-square matrix");
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-14) {
+      return Status::InvalidArgument("singular matrix");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t r = col + 1; r < n; ++r) {
+      double f = a[r][col] / a[col][col];
+      for (size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  out->assign(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (size_t c = i + 1; c < n; ++c) s -= a[i][c] * (*out)[c];
+    (*out)[i] = s / a[i][i];
+  }
+  return Status::OK();
+}
+
+Status LinearRegression::Fit(const std::vector<std::vector<double>>& features,
+                             const std::vector<double>& targets, double ridge) {
+  if (features.size() != targets.size() || features.empty()) {
+    return Status::InvalidArgument("feature/target size mismatch");
+  }
+  const size_t d = features[0].size();
+  for (const auto& row : features) {
+    if (row.size() != d) {
+      return Status::InvalidArgument("ragged feature matrix");
+    }
+  }
+  // Augment with an intercept column; solve (X^T X + ridge I) w = X^T y.
+  const size_t k = d + 1;
+  std::vector<std::vector<double>> xtx(k, std::vector<double>(k, 0.0));
+  std::vector<double> xty(k, 0.0);
+  for (size_t i = 0; i < features.size(); ++i) {
+    std::vector<double> row(k);
+    for (size_t j = 0; j < d; ++j) row[j] = features[i][j];
+    row[d] = 1.0;
+    for (size_t r = 0; r < k; ++r) {
+      for (size_t c = 0; c < k; ++c) xtx[r][c] += row[r] * row[c];
+      xty[r] += row[r] * targets[i];
+    }
+  }
+  for (size_t r = 0; r < k; ++r) xtx[r][r] += ridge;
+  std::vector<double> solution;
+  QO_RETURN_IF_ERROR(SolveLinearSystem(std::move(xtx), std::move(xty),
+                                       &solution));
+  weights_.assign(solution.begin(), solution.begin() + static_cast<long>(d));
+  intercept_ = solution[d];
+  fitted_ = true;
+  return Status::OK();
+}
+
+double LinearRegression::Predict(const std::vector<double>& features) const {
+  double y = intercept_;
+  for (size_t i = 0; i < weights_.size() && i < features.size(); ++i) {
+    y += weights_[i] * features[i];
+  }
+  return y;
+}
+
+double LinearRegression::Score(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& targets) const {
+  if (features.size() != targets.size() || features.empty()) return 0.0;
+  double my = Mean(targets);
+  double ss_res = 0, ss_tot = 0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    double pred = Predict(features[i]);
+    ss_res += (targets[i] - pred) * (targets[i] - pred);
+    ss_tot += (targets[i] - my) * (targets[i] - my);
+  }
+  return ss_tot > 0 ? 1.0 - ss_res / ss_tot : 0.0;
+}
+
+double PolynomialFit::Predict(double x) const {
+  double y = 0.0;
+  double xp = 1.0;
+  for (double c : coefficients) {
+    y += c * xp;
+    xp *= x;
+  }
+  return y;
+}
+
+Result<PolynomialFit> FitPolynomial(const std::vector<double>& xs,
+                                    const std::vector<double>& ys,
+                                    int degree) {
+  if (degree < 0) return Status::InvalidArgument("negative degree");
+  if (xs.size() != ys.size() ||
+      xs.size() < static_cast<size_t>(degree) + 1) {
+    return Status::InvalidArgument("not enough points for degree");
+  }
+  const size_t k = static_cast<size_t>(degree) + 1;
+  std::vector<std::vector<double>> xtx(k, std::vector<double>(k, 0.0));
+  std::vector<double> xty(k, 0.0);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    std::vector<double> row(k);
+    double xp = 1.0;
+    for (size_t j = 0; j < k; ++j) {
+      row[j] = xp;
+      xp *= xs[i];
+    }
+    for (size_t r = 0; r < k; ++r) {
+      for (size_t c = 0; c < k; ++c) xtx[r][c] += row[r] * row[c];
+      xty[r] += row[r] * ys[i];
+    }
+  }
+  for (size_t r = 0; r < k; ++r) xtx[r][r] += 1e-12;
+  std::vector<double> solution;
+  QO_RETURN_IF_ERROR(SolveLinearSystem(std::move(xtx), std::move(xty),
+                                       &solution));
+  PolynomialFit fit;
+  fit.coefficients = std::move(solution);
+  return fit;
+}
+
+}  // namespace qo

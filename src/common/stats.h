@@ -1,0 +1,110 @@
+// Summary statistics, correlation, and small regression models used by the
+// validation stage and by the benchmark harnesses that regenerate the
+// paper's figures.
+#ifndef QO_COMMON_STATS_H_
+#define QO_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qo {
+
+/// Streaming accumulator for mean / variance / extrema (Welford's method).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  /// Coefficient of variation: stddev / |mean| (0 when mean == 0).
+  double cv() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a sample; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two samples.
+double StdDev(const std::vector<double>& xs);
+
+/// Exact percentile via sorting a copy; p in [0, 100].
+double Percentile(std::vector<double> xs, double p);
+
+/// Pearson correlation coefficient; 0 if either side is degenerate.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Fraction of elements satisfying pred-like threshold helpers.
+double FractionBelow(const std::vector<double>& xs, double threshold);
+double FractionAbove(const std::vector<double>& xs, double threshold);
+
+/// Ordinary least squares fit y = a*x + b.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination of the fit.
+  double r2 = 0.0;
+
+  double Predict(double x) const { return slope * x + intercept; }
+};
+
+Result<LinearFit> FitLinear(const std::vector<double>& xs,
+                            const std::vector<double>& ys);
+
+/// Multiple linear regression y = w . x + b via normal equations with a tiny
+/// ridge term for numerical stability. Feature count must be small (the
+/// validation model uses 2 features).
+class LinearRegression {
+ public:
+  /// Fits the model; every row of `features` must have the same width.
+  Status Fit(const std::vector<std::vector<double>>& features,
+             const std::vector<double>& targets, double ridge = 1e-9);
+
+  /// Predicted target for one feature row. Must be called after Fit.
+  double Predict(const std::vector<double>& features) const;
+
+  bool fitted() const { return fitted_; }
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+  /// R^2 on the given dataset.
+  double Score(const std::vector<std::vector<double>>& features,
+               const std::vector<double>& targets) const;
+
+ private:
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Least-squares polynomial fit of the requested degree (used for the Fig. 7
+/// and Fig. 8 trend lines).
+struct PolynomialFit {
+  std::vector<double> coefficients;  ///< c0 + c1*x + c2*x^2 + ...
+  double Predict(double x) const;
+};
+
+Result<PolynomialFit> FitPolynomial(const std::vector<double>& xs,
+                                    const std::vector<double>& ys, int degree);
+
+/// Solves the linear system A x = b with Gaussian elimination and partial
+/// pivoting. A is row-major n x n.
+Status SolveLinearSystem(std::vector<std::vector<double>> a,
+                         std::vector<double> b, std::vector<double>* out);
+
+}  // namespace qo
+
+#endif  // QO_COMMON_STATS_H_

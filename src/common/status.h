@@ -1,0 +1,172 @@
+// Status / Result error handling, modeled after the RocksDB/Arrow style:
+// fallible functions return a qo::Status or qo::Result<T> instead of
+// throwing. Exceptions are not used on any library path.
+#ifndef QO_COMMON_STATUS_H_
+#define QO_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace qo {
+
+/// Machine-readable error category carried by every non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kTimeout,
+  kParseError,
+  kCompileError,
+  kUnsupported,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// The default-constructed Status is OK. Non-OK statuses are created via the
+/// named factory functions, e.g. `Status::InvalidArgument("bad span")`.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status CompileError(std::string msg) {
+    return Status(StatusCode::kCompileError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCompileError() const { return code_ == StatusCode::kCompileError; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or a non-OK Status explaining why the value is
+/// absent. Accessing the value of a failed Result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if this Result failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace qo
+
+/// Propagates a non-OK Status from the current function.
+#define QO_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::qo::Status _qo_status = (expr);       \
+    if (!_qo_status.ok()) return _qo_status; \
+  } while (0)
+
+#define QO_CONCAT_IMPL(a, b) a##b
+#define QO_CONCAT(a, b) QO_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on failure returns the error Status from the current function.
+#define QO_ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto QO_CONCAT(_qo_result_, __LINE__) = (expr);               \
+  if (!QO_CONCAT(_qo_result_, __LINE__).ok())                   \
+    return QO_CONCAT(_qo_result_, __LINE__).status();           \
+  lhs = std::move(QO_CONCAT(_qo_result_, __LINE__)).value()
+
+#endif  // QO_COMMON_STATUS_H_

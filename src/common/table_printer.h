@@ -1,0 +1,36 @@
+// Fixed-width text table used by the bench harnesses to print the rows /
+// series that the paper's tables and figures report.
+#ifndef QO_COMMON_TABLE_PRINTER_H_
+#define QO_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qo {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends a row; it may have fewer cells than there are headers.
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table with a header separator to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with the given precision (helper for cells).
+  static std::string Num(double v, int precision = 3);
+  /// Formats a fraction as a percentage string, e.g. -0.143 -> "-14.3%".
+  static std::string Pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qo
+
+#endif  // QO_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,32 @@
+#include "core/feature_gen.h"
+
+namespace qo::advisor {
+
+std::vector<JobFeatures> GenerateFeatures(const engine::ScopeEngine& engine,
+                                          const telemetry::WorkloadView& view,
+                                          FeatureGenStats* stats) {
+  FeatureGenStats local;
+  std::vector<JobFeatures> out;
+  local.input_jobs = view.rows.size();
+  for (const auto& row : view.rows) {
+    auto span = ComputeJobSpan(engine, row.instance);
+    if (!span.ok()) {
+      ++local.compile_failures;
+      continue;
+    }
+    if (span->span.None()) {
+      ++local.empty_span_dropped;
+      continue;
+    }
+    JobFeatures f;
+    f.row = row;
+    f.span = span->span;
+    f.default_compilation = std::move(span->default_compilation);
+    out.push_back(std::move(f));
+  }
+  local.emitted = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace qo::advisor

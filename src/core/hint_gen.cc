@@ -1,0 +1,24 @@
+#include "core/hint_gen.h"
+
+#include <set>
+
+namespace qo::advisor {
+
+sis::HintFile BuildHintFile(const std::vector<Recommendation>& validated,
+                            int day) {
+  sis::HintFile file;
+  file.day = day;
+  std::set<std::string> seen;
+  for (const Recommendation& rec : validated) {
+    if (rec.rule_id < 0) continue;
+    if (!seen.insert(rec.template_name).second) continue;
+    sis::HintEntry entry;
+    entry.template_name = rec.template_name;
+    entry.rule_id = rec.rule_id;
+    entry.enable = rec.enable;
+    file.entries.push_back(std::move(entry));
+  }
+  return file;
+}
+
+}  // namespace qo::advisor

@@ -1,0 +1,23 @@
+// Hint Generation: the final pipeline task (paper Sec. 4.4).
+//
+// Gathers validated (job template, rule flip) pairs, explodes them to all
+// jobs of the template (implicitly — SIS serves hints by template name), and
+// writes the SIS-format hint file.
+#ifndef QO_CORE_HINT_GEN_H_
+#define QO_CORE_HINT_GEN_H_
+
+#include <vector>
+
+#include "core/recommend.h"
+#include "sis/sis.h"
+
+namespace qo::advisor {
+
+/// Builds a hint file from validated recommendations, keeping one hint per
+/// template (first wins; recommendations are per representative job).
+sis::HintFile BuildHintFile(const std::vector<Recommendation>& validated,
+                            int day);
+
+}  // namespace qo::advisor
+
+#endif  // QO_CORE_HINT_GEN_H_

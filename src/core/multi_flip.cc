@@ -1,0 +1,41 @@
+#include "core/multi_flip.h"
+
+namespace qo::advisor {
+
+Result<MultiFlipResult> GreedyMultiFlip(const engine::ScopeEngine& engine,
+                                        const workload::JobInstance& job,
+                                        const BitVector256& span, int horizon,
+                                        double min_relative_gain) {
+  MultiFlipResult result;
+  QO_ASSIGN_OR_RETURN(opt::CompilationOutput base,
+                      engine.Compile(job, opt::RuleConfig::Default()));
+  result.est_cost_default = base.est_cost;
+  result.est_cost_final = base.est_cost;
+
+  opt::RuleConfig current = opt::RuleConfig::Default();
+  BitVector256 remaining = span;
+  for (int step = 0; step < horizon && remaining.Any(); ++step) {
+    int best_flip = -1;
+    double best_cost = result.est_cost_final;
+    for (int bit : remaining.Positions()) {
+      opt::RuleConfig candidate = current;
+      candidate.Flip(bit);
+      auto compiled = engine.Compile(job, candidate);
+      if (!compiled.ok()) continue;  // this flip breaks compilation; skip
+      if (compiled->est_cost <
+          best_cost * (1.0 - min_relative_gain)) {
+        best_cost = compiled->est_cost;
+        best_flip = bit;
+      }
+    }
+    if (best_flip < 0) break;  // no flip improves enough
+    current.Flip(best_flip);
+    remaining.Clear(best_flip);
+    result.flips.push_back(best_flip);
+    result.est_cost_trajectory.push_back(best_cost);
+    result.est_cost_final = best_cost;
+  }
+  return result;
+}
+
+}  // namespace qo::advisor

@@ -1,0 +1,53 @@
+// Multi-flip steering — the paper's Sec. 8 future-work direction
+// ("in future work we will propose multiple rule flips, e.g., by utilizing
+// techniques from combinatorial contextual bandits or short-horizon episodic
+// reinforcement learning").
+//
+// This implements the short-horizon greedy episode: starting from the
+// default configuration, repeatedly evaluate every single flip in the job
+// span, commit the flip with the best estimated-cost improvement, and stop
+// when no flip improves or the horizon is exhausted. Each committed flip is
+// re-validated by recompilation, so the result is always a real,
+// compilable configuration at edit distance <= horizon from the default.
+#ifndef QO_CORE_MULTI_FLIP_H_
+#define QO_CORE_MULTI_FLIP_H_
+
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+#include "engine/engine.h"
+#include "workload/template_gen.h"
+
+namespace qo::advisor {
+
+struct MultiFlipResult {
+  /// Flips committed, in commit order.
+  std::vector<int> flips;
+  double est_cost_default = 0.0;
+  double est_cost_final = 0.0;
+  /// Estimated cost after each committed flip (same length as `flips`).
+  std::vector<double> est_cost_trajectory;
+
+  opt::RuleConfig ToConfig() const {
+    opt::RuleConfig config = opt::RuleConfig::Default();
+    for (int f : flips) config.Flip(f);
+    return config;
+  }
+  double ImprovementRatio() const {
+    return est_cost_final > 0.0 ? est_cost_default / est_cost_final : 0.0;
+  }
+};
+
+/// Greedy multi-flip search over `span` with the given episode horizon.
+/// `min_relative_gain` is the per-step improvement required to keep going
+/// (guards against chasing cost-model noise).
+Result<MultiFlipResult> GreedyMultiFlip(const engine::ScopeEngine& engine,
+                                        const workload::JobInstance& job,
+                                        const BitVector256& span,
+                                        int horizon = 3,
+                                        double min_relative_gain = 1e-3);
+
+}  // namespace qo::advisor
+
+#endif  // QO_CORE_MULTI_FLIP_H_

@@ -1,0 +1,130 @@
+#include "core/pipeline.h"
+
+#include <set>
+
+namespace qo::advisor {
+
+QoAdvisorPipeline::QoAdvisorPipeline(const engine::ScopeEngine* engine,
+                                     sis::StatsInsightService* sis,
+                                     PipelineConfig config)
+    : engine_(engine),
+      sis_(sis),
+      config_(config),
+      personalizer_(config.personalizer),
+      flighting_(engine, config.flighting),
+      recommender_(engine, &personalizer_, config.recommender),
+      validation_(config.validation) {}
+
+std::vector<Recommendation> QoAdvisorPipeline::PickRepresentatives(
+    std::vector<Recommendation> recs) const {
+  if (!config_.one_flight_per_template) return recs;
+  std::set<int> seen;
+  std::vector<Recommendation> out;
+  for (auto& rec : recs) {
+    if (seen.insert(rec.template_id).second) {
+      out.push_back(std::move(rec));
+    }
+  }
+  return out;
+}
+
+Result<PipelineDayReport> QoAdvisorPipeline::RunDay(
+    const telemetry::WorkloadView& view) {
+  PipelineDayReport report;
+  report.day = view.day;
+
+  // --- Feature Generation (recurring jobs only, Sec. 2.1). ---
+  telemetry::WorkloadView filtered;
+  filtered.day = view.day;
+  for (const auto& row : view.rows) {
+    if (!config_.recurring_only || row.recurring) filtered.rows.push_back(row);
+  }
+  std::vector<JobFeatures> features =
+      GenerateFeatures(*engine_, filtered, &report.feature_gen);
+
+  // --- Recommendation (CB + recompilation + pruning). ---
+  std::vector<Recommendation> recs =
+      recommender_.RecommendDay(features, view.day, &report.recommender);
+
+  // --- Flight selection: one representative per template, budget-capped.
+  std::vector<Recommendation> candidates = PickRepresentatives(std::move(recs));
+  if (candidates.size() > config_.max_flights_per_day) {
+    candidates.resize(config_.max_flights_per_day);
+  }
+  std::vector<flight::FlightRequest> requests;
+  requests.reserve(candidates.size());
+  for (const Recommendation& rec : candidates) {
+    flight::FlightRequest req;
+    req.job = rec.instance;
+    req.baseline = opt::RuleConfig::Default();
+    req.candidate = rec.ToConfig();
+    req.est_cost_delta = rec.est_cost_default > 0.0
+                             ? rec.est_cost_new / rec.est_cost_default - 1.0
+                             : 0.0;
+    requests.push_back(std::move(req));
+  }
+  report.flight_requests = requests.size();
+  double budget_before = flighting_.budget_used_hours();
+  std::vector<flight::FlightResult> flights = flighting_.FlightBatch(
+      std::move(requests), static_cast<uint64_t>(view.day) * 7919);
+  report.flight_budget_used_hours =
+      flighting_.budget_used_hours() - budget_before;
+
+  // Align flights back to their recommendations by job id.
+  auto find_rec = [&](const std::string& job_id) -> const Recommendation* {
+    for (const auto& rec : candidates) {
+      if (rec.job_id == job_id) return &rec;
+    }
+    return nullptr;
+  };
+
+  // --- Validation: gather samples, retrain, accept/reject. ---
+  std::vector<Recommendation> validated;
+  for (const flight::FlightResult& flight : flights) {
+    switch (flight.outcome) {
+      case flight::FlightOutcome::kSuccess:
+        ++report.flights_success;
+        break;
+      case flight::FlightOutcome::kFailure:
+        ++report.flights_failure;
+        continue;
+      case flight::FlightOutcome::kTimeout:
+        ++report.flights_timeout;
+        continue;
+      case flight::FlightOutcome::kFiltered:
+        ++report.flights_filtered;
+        continue;
+    }
+    const Recommendation* rec = find_rec(flight.job_id);
+    if (rec == nullptr) continue;
+    // The regression target is the PNhours delta of a *future* occurrence:
+    // emulate the next run of the recurring job with a fresh seed.
+    auto future = flighting_.FlightOne(
+        {rec->instance, opt::RuleConfig::Default(), rec->ToConfig(), 0.0},
+        static_cast<uint64_t>(view.day) * 104729 + validation_samples_.size());
+    if (future.ok() && future->outcome == flight::FlightOutcome::kSuccess) {
+      validation_samples_.push_back(
+          MakeSample(flight, future->pn_hours_delta));
+    }
+    if (!validation_.trained() &&
+        validation_samples_.size() >=
+            config_.validation.min_training_samples) {
+      validation_.Train(validation_samples_).ok();
+    }
+    if (validation_.Accept(flight)) {
+      validated.push_back(*rec);
+      ++report.validated;
+    }
+  }
+  report.validation_model_trained = validation_.trained();
+
+  // --- Hint Generation + SIS upload. ---
+  if (!validated.empty()) {
+    sis::HintFile file = BuildHintFile(validated, view.day);
+    auto version = sis_->UploadHintFile(file);
+    if (version.ok()) report.hints_uploaded = file.entries.size();
+  }
+  return report;
+}
+
+}  // namespace qo::advisor

@@ -1,0 +1,91 @@
+// The end-to-end QO-Advisor daily pipeline (paper Fig. 1 and Sec. 2.5):
+//
+//   workload view -> Feature Generation -> Recommendation (contextual
+//   bandit + recompilation) -> Flighting -> Validation -> Hint Generation
+//   -> SIS upload.
+//
+// One pipeline instance persists across days: the Personalizer keeps
+// learning, the validation model retrains as flight telemetry accumulates,
+// and hints land in the SIS where the optimizer picks them up for the next
+// occurrence of each template.
+#ifndef QO_CORE_PIPELINE_H_
+#define QO_CORE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "bandit/personalizer.h"
+#include "core/feature_gen.h"
+#include "core/hint_gen.h"
+#include "core/recommend.h"
+#include "core/validation.h"
+#include "flighting/flighting.h"
+#include "sis/sis.h"
+#include "telemetry/workload_view.h"
+
+namespace qo::advisor {
+
+struct PipelineConfig {
+  RecommenderConfig recommender;
+  ValidationModelConfig validation;
+  flight::FlightingConfig flighting;
+  bandit::PersonalizerConfig personalizer;
+  /// Flight at most this many jobs per day (budget guard, Sec. 4.3).
+  size_t max_flights_per_day = 48;
+  /// One representative job per template is flighted (Sec. 4.3).
+  bool one_flight_per_template = true;
+  /// Consider only recurring jobs (the paper's current scope, Sec. 2.1).
+  bool recurring_only = true;
+};
+
+/// Per-day pipeline telemetry.
+struct PipelineDayReport {
+  int day = 0;
+  FeatureGenStats feature_gen;
+  RecommenderStats recommender;
+  size_t flight_requests = 0;
+  size_t flights_success = 0;
+  size_t flights_failure = 0;
+  size_t flights_timeout = 0;
+  size_t flights_filtered = 0;
+  size_t validated = 0;
+  size_t hints_uploaded = 0;
+  double flight_budget_used_hours = 0.0;
+  bool validation_model_trained = false;
+};
+
+/// The daily-pipeline orchestrator.
+class QoAdvisorPipeline {
+ public:
+  QoAdvisorPipeline(const engine::ScopeEngine* engine,
+                    sis::StatsInsightService* sis, PipelineConfig config = {});
+
+  /// Runs the full pipeline over one day's denormalized view.
+  Result<PipelineDayReport> RunDay(const telemetry::WorkloadView& view);
+
+  bandit::PersonalizerService& personalizer() { return personalizer_; }
+  flight::FlightingService& flighting() { return flighting_; }
+  ValidationModel& validation_model() { return validation_; }
+  const std::vector<ValidationSample>& validation_samples() const {
+    return validation_samples_;
+  }
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  /// Picks one representative recommendation per template (Sec. 4.3).
+  std::vector<Recommendation> PickRepresentatives(
+      std::vector<Recommendation> recs) const;
+
+  const engine::ScopeEngine* engine_;
+  sis::StatsInsightService* sis_;
+  PipelineConfig config_;
+  bandit::PersonalizerService personalizer_;
+  flight::FlightingService flighting_;
+  Recommender recommender_;
+  ValidationModel validation_;
+  std::vector<ValidationSample> validation_samples_;
+};
+
+}  // namespace qo::advisor
+
+#endif  // QO_CORE_PIPELINE_H_

@@ -1,0 +1,158 @@
+#include "core/recommend.h"
+
+#include <algorithm>
+
+namespace qo::advisor {
+
+namespace {
+
+/// Action ids: index 0 is the no-op, index i>0 flips span bit i-1.
+int RuleIdOfAction(const std::vector<int>& span_bits, size_t action_index) {
+  if (action_index == 0) return -1;
+  return span_bits[action_index - 1];
+}
+
+}  // namespace
+
+Recommender::Recommender(const engine::ScopeEngine* engine,
+                         bandit::PersonalizerService* personalizer,
+                         RecommenderConfig config)
+    : engine_(engine), personalizer_(personalizer), config_(config) {}
+
+std::vector<bandit::RankableAction> Recommender::BuildActions(
+    const BitVector256& span) {
+  std::vector<bandit::RankableAction> actions;
+  bandit::RankableAction noop;
+  noop.action_id = "noop";
+  noop.features = bandit::BuildActionFeatures(-1, /*is_noop=*/true);
+  actions.push_back(std::move(noop));
+  for (int bit : span.Positions()) {
+    bandit::RankableAction a;
+    a.action_id = "flip_" + std::to_string(bit);
+    a.features = bandit::BuildActionFeatures(bit, /*is_noop=*/false);
+    actions.push_back(std::move(a));
+  }
+  return actions;
+}
+
+Recommendation Recommender::EvaluateFlip(const JobFeatures& job,
+                                         int rule_id) const {
+  Recommendation rec;
+  rec.job_id = job.row.job_id;
+  rec.template_name = job.row.normalized_job_name;
+  rec.template_id = job.row.template_id;
+  rec.rule_id = rule_id;
+  rec.instance = job.row.instance;
+  rec.span = job.span;
+  rec.est_cost_default = job.default_compilation.est_cost;
+  if (rule_id < 0) {
+    rec.est_cost_new = rec.est_cost_default;
+    rec.outcome = RecompileOutcome::kEqualCost;
+    rec.reward = 1.0;
+    return rec;
+  }
+  rec.enable = !opt::RuleConfig::Default().IsEnabled(rule_id);
+  auto recompiled =
+      engine_->Compile(job.row.instance, opt::RuleConfig::DefaultWithFlip(rule_id));
+  if (!recompiled.ok()) {
+    rec.outcome = RecompileOutcome::kRecompileFailure;
+    rec.est_cost_new = 0.0;
+    rec.reward = 0.0;
+    return rec;
+  }
+  rec.est_cost_new = recompiled->est_cost;
+  const double kTolerance = 1e-9;
+  if (rec.est_cost_new < rec.est_cost_default * (1.0 - kTolerance)) {
+    rec.outcome = RecompileOutcome::kLowerCost;
+  } else if (rec.est_cost_new > rec.est_cost_default * (1.0 + kTolerance)) {
+    rec.outcome = RecompileOutcome::kHigherCost;
+  } else {
+    rec.outcome = RecompileOutcome::kEqualCost;
+  }
+  // Reward: fractional reduction in estimated cost, expressed as the ratio
+  // default/new and clipped to bound outliers (Sec. 4.2).
+  double ratio = rec.est_cost_new > 0.0
+                     ? rec.est_cost_default / rec.est_cost_new
+                     : 0.0;
+  rec.reward = std::clamp(ratio, 0.0, config_.reward_clip);
+  return rec;
+}
+
+std::vector<Recommendation> Recommender::RecommendDay(
+    const std::vector<JobFeatures>& jobs, int day, RecommenderStats* stats) {
+  RecommenderStats local;
+  std::vector<Recommendation> forwarded;
+  for (const JobFeatures& job : jobs) {
+    ++local.jobs;
+    bandit::FeatureVector context =
+        bandit::BuildContextFeatures(job.ToContext());
+    std::vector<bandit::RankableAction> actions = BuildActions(job.span);
+    std::vector<int> span_bits = job.span.Positions();
+
+    // --- Logging arm: uniform-at-random, always rewarded. ---
+    for (int probe_idx = 0; probe_idx < config_.uniform_probes_per_job;
+         ++probe_idx) {
+      bandit::RankRequest log_request;
+      log_request.event_id = "u_" + std::to_string(day) + "_" +
+                             std::to_string(probe_idx) + "_" + job.row.job_id;
+      log_request.context = context;
+      log_request.actions = actions;
+      log_request.explore_uniform = true;
+      auto log_rank = personalizer_->Rank(log_request);
+      if (log_rank.ok()) {
+        int rule = RuleIdOfAction(span_bits, log_rank->chosen_index);
+        Recommendation probe = EvaluateFlip(job, rule);
+        personalizer_->Reward(log_rank->event_id, probe.reward).ok();
+      }
+    }
+
+    // --- Acting arm: learned policy (or uniform for the random baseline). ---
+    bandit::RankRequest act_request;
+    act_request.event_id =
+        "g_" + std::to_string(day) + "_" + job.row.job_id;
+    act_request.context = std::move(context);
+    act_request.actions = std::move(actions);
+    act_request.explore_uniform = !config_.use_contextual_bandit;
+    auto act_rank = personalizer_->Rank(act_request);
+    if (!act_rank.ok()) continue;
+    int rule = RuleIdOfAction(span_bits, act_rank->chosen_index);
+    if (rule < 0) {
+      ++local.noop_chosen;
+      ++local.equal_cost;
+      continue;
+    }
+    Recommendation rec = EvaluateFlip(job, rule);
+    switch (rec.outcome) {
+      case RecompileOutcome::kLowerCost:
+        ++local.lower_cost;
+        break;
+      case RecompileOutcome::kEqualCost:
+        ++local.equal_cost;
+        break;
+      case RecompileOutcome::kHigherCost:
+        ++local.higher_cost;
+        break;
+      case RecompileOutcome::kRecompileFailure:
+        ++local.recompile_failures;
+        break;
+    }
+    // Short-circuit: only flips that improve estimated cost move forward
+    // (Sec. 5.6), unless pruning is disabled for the Sec. 5.2 ablation.
+    double delta = rec.est_cost_default > 0.0
+                       ? rec.est_cost_new / rec.est_cost_default - 1.0
+                       : 0.0;
+    bool pass = rec.outcome == RecompileOutcome::kLowerCost &&
+                delta <= config_.max_est_cost_delta;
+    if (!config_.prune_non_improving) {
+      pass = rec.outcome != RecompileOutcome::kRecompileFailure;
+    }
+    if (pass) {
+      ++local.forwarded;
+      forwarded.push_back(std::move(rec));
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return forwarded;
+}
+
+}  // namespace qo::advisor

@@ -1,0 +1,67 @@
+#include "core/span.h"
+
+namespace qo::advisor {
+
+Result<SpanResult> ComputeJobSpan(const engine::ScopeEngine& engine,
+                                  const workload::JobInstance& job,
+                                  int max_iterations) {
+  const auto& registry = opt::RuleRegistry::Get();
+  const BitVector256& required =
+      registry.CategoryMask(opt::RuleCategory::kRequired);
+  const BitVector256 flippable =
+      registry.CategoryMask(opt::RuleCategory::kOnByDefault) |
+      registry.CategoryMask(opt::RuleCategory::kOffByDefault) |
+      registry.CategoryMask(opt::RuleCategory::kImplementation);
+
+  // Implementation rules that are the *only* way to implement their
+  // operator. Flipping one of these can never produce an alternative plan —
+  // recompilation simply fails — so the span heuristic skips them (they are
+  // infrastructure, like SCOPE's single-implementation physical operators).
+  BitVector256 sole_impls = BitVector256::FromPositions({
+      opt::rules::kScanImpl,
+      opt::rules::kFilterImpl,
+      opt::rules::kProjectImpl,
+      opt::rules::kOutputImpl,
+      opt::rules::kExchangeShuffleImpl,
+      opt::rules::kExchangeGatherImpl,
+  });
+
+  SpanResult result;
+  QO_ASSIGN_OR_RETURN(result.default_compilation,
+                      engine.Compile(job, opt::RuleConfig::Default()));
+  result.iterations = 1;
+
+  // Seed: flippable rules used by the default plan.
+  BitVector256 seen = result.default_compilation.signature & flippable;
+  result.span = seen;
+
+  // Fix-point loop: enable all off-by-default rules, disable everything seen
+  // so far, recompile, and absorb newly used rules.
+  opt::RuleConfig config = opt::RuleConfig::Default();
+  for (int pos :
+       registry.ByCategory(opt::RuleCategory::kOffByDefault)) {
+    config.Enable(pos);
+  }
+  while (result.iterations < max_iterations) {
+    opt::RuleConfig attempt = config;
+    // Sole implementations stay enabled: disabling them guarantees failure
+    // and would end discovery before alternatives can surface.
+    for (int pos : seen.AndNot(sole_impls).Positions()) attempt.Disable(pos);
+    auto compiled = engine.Compile(job, attempt);
+    ++result.iterations;
+    if (!compiled.ok()) {
+      result.ended_by_failure = true;
+      break;
+    }
+    BitVector256 used = compiled->signature & flippable;
+    BitVector256 fresh = used.AndNot(seen);
+    if (fresh.None()) break;
+    seen |= fresh;
+    result.span |= fresh;
+  }
+  // Required rules and sole-implementation rules are never part of the span.
+  result.span = result.span.AndNot(required).AndNot(sole_impls);
+  return result;
+}
+
+}  // namespace qo::advisor

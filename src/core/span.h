@@ -1,0 +1,39 @@
+// Job span computation (paper Secs. 2.1 and 4.1).
+//
+// The span of a job is the set of rules which, if enabled or disabled, can
+// affect the final query plan. It is computed with the fix-point heuristic
+// of [29]: starting from the default configuration, turn ON all
+// off-by-default rules and turn OFF every on-by-default / implementation
+// rule that appears in the current rule signature; recompile; any *newly
+// used* rules join the span and are flipped off in turn; repeat until no new
+// rule appears or recompilation fails.
+#ifndef QO_CORE_SPAN_H_
+#define QO_CORE_SPAN_H_
+
+#include "common/bitvector.h"
+#include "common/status.h"
+#include "engine/engine.h"
+#include "workload/template_gen.h"
+
+namespace qo::advisor {
+
+struct SpanResult {
+  /// Rules that can change the plan (never includes required rules).
+  BitVector256 span;
+  /// Fix-point iterations performed (including the initial compile).
+  int iterations = 0;
+  /// True when the loop ended because a recompilation failed.
+  bool ended_by_failure = false;
+  /// The default-configuration compilation (reused by later stages).
+  opt::CompilationOutput default_compilation;
+};
+
+/// Computes the span for one job instance. CompileError when even the
+/// default configuration fails.
+Result<SpanResult> ComputeJobSpan(const engine::ScopeEngine& engine,
+                                  const workload::JobInstance& job,
+                                  int max_iterations = 8);
+
+}  // namespace qo::advisor
+
+#endif  // QO_CORE_SPAN_H_

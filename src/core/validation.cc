@@ -1,0 +1,43 @@
+#include "core/validation.h"
+
+namespace qo::advisor {
+
+Status ValidationModel::Train(const std::vector<ValidationSample>& samples) {
+  if (samples.size() < config_.min_training_samples) {
+    return Status::FailedPrecondition(
+        "need at least " + std::to_string(config_.min_training_samples) +
+        " samples, have " + std::to_string(samples.size()));
+  }
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  features.reserve(samples.size());
+  for (const ValidationSample& s : samples) {
+    features.push_back({s.data_read_delta, s.data_written_delta});
+    targets.push_back(s.future_pn_delta);
+  }
+  QO_RETURN_IF_ERROR(regression_.Fit(features, targets));
+  trained_ = true;
+  return Status::OK();
+}
+
+double ValidationModel::PredictPnDelta(double data_read_delta,
+                                       double data_written_delta) const {
+  return regression_.Predict({data_read_delta, data_written_delta});
+}
+
+double ValidationModel::PredictPnDelta(
+    const flight::FlightResult& flight) const {
+  return PredictPnDelta(flight.data_read_delta, flight.data_written_delta);
+}
+
+ValidationSample MakeSample(const flight::FlightResult& flight,
+                            double future_pn_delta) {
+  ValidationSample s;
+  s.data_read_delta = flight.data_read_delta;
+  s.data_written_delta = flight.data_written_delta;
+  s.flight_pn_delta = flight.pn_hours_delta;
+  s.future_pn_delta = future_pn_delta;
+  return s;
+}
+
+}  // namespace qo::advisor

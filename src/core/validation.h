@@ -1,0 +1,74 @@
+// The Validation model (paper Secs. 3.2, 4.3 and 5.3).
+//
+// A supervised linear regression predicting the future PNhours delta of a
+// rule flip from the DataRead and DataWritten deltas observed in a single
+// flighting run. A recommendation is accepted only when the predicted delta
+// clears a safety threshold (-0.1 in production: at least a 10% PNhours
+// reduction is expected).
+#ifndef QO_CORE_VALIDATION_H_
+#define QO_CORE_VALIDATION_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "flighting/flighting.h"
+
+namespace qo::advisor {
+
+/// One training point: flighted deltas -> the PNhours delta observed on a
+/// later occurrence (what the model must predict).
+struct ValidationSample {
+  double data_read_delta = 0.0;
+  double data_written_delta = 0.0;
+  double flight_pn_delta = 0.0;   ///< PNhours delta seen in the flight itself
+  double future_pn_delta = 0.0;   ///< the regression target
+};
+
+struct ValidationModelConfig {
+  /// Predicted PNhours delta must be below this to accept (Sec. 4.3).
+  double accept_threshold = -0.10;
+  /// Minimum samples before the model is considered trained.
+  size_t min_training_samples = 40;
+};
+
+/// The validation model.
+class ValidationModel {
+ public:
+  explicit ValidationModel(ValidationModelConfig config = {})
+      : config_(config) {}
+
+  /// Fits PNhours delta ~ (DataRead delta, DataWritten delta).
+  /// FailedPrecondition with fewer than min_training_samples points.
+  Status Train(const std::vector<ValidationSample>& samples);
+
+  bool trained() const { return trained_; }
+
+  /// Predicted future PNhours delta for a flight result.
+  double PredictPnDelta(const flight::FlightResult& flight) const;
+  double PredictPnDelta(double data_read_delta,
+                        double data_written_delta) const;
+
+  /// Acceptance decision: prediction below the safety threshold.
+  bool Accept(const flight::FlightResult& flight) const {
+    return trained_ && PredictPnDelta(flight) < config_.accept_threshold;
+  }
+
+  const ValidationModelConfig& config() const { return config_; }
+  const LinearRegression& regression() const { return regression_; }
+
+ private:
+  ValidationModelConfig config_;
+  LinearRegression regression_;
+  bool trained_ = false;
+};
+
+/// Builds validation samples from flight results by pairing each successful
+/// flight with a later (re-executed) occurrence of the same job — the
+/// "week0 train / week1 test" protocol of Sec. 4.3.
+ValidationSample MakeSample(const flight::FlightResult& flight,
+                            double future_pn_delta);
+
+}  // namespace qo::advisor
+
+#endif  // QO_CORE_VALIDATION_H_

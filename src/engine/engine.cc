@@ -1,0 +1,36 @@
+#include "engine/engine.h"
+
+#include "scope/compiler.h"
+
+namespace qo::engine {
+
+ScopeEngine::ScopeEngine(opt::OptimizerOptions optimizer_options,
+                         exec::ClusterConfig cluster_config)
+    : optimizer_options_(optimizer_options), simulator_(cluster_config) {}
+
+Result<opt::CompilationOutput> ScopeEngine::Compile(
+    const workload::JobInstance& job, const opt::RuleConfig& config) const {
+  QO_ASSIGN_OR_RETURN(scope::LogicalPlan logical,
+                      scope::CompileSource(job.script, job.catalog));
+  opt::Optimizer optimizer(job.catalog, optimizer_options_);
+  return optimizer.Optimize(logical, config);
+}
+
+Result<JobRunResult> ScopeEngine::Run(const workload::JobInstance& job,
+                                      const opt::RuleConfig& config,
+                                      uint64_t run_salt) const {
+  QO_ASSIGN_OR_RETURN(opt::CompilationOutput compiled, Compile(job, config));
+  JobRunResult result;
+  result.metrics = Execute(job, compiled.plan, run_salt);
+  result.compilation = std::move(compiled);
+  return result;
+}
+
+exec::JobMetrics ScopeEngine::Execute(const workload::JobInstance& job,
+                                      const opt::PhysicalPlan& plan,
+                                      uint64_t run_salt) const {
+  uint64_t seed = job.run_seed ^ (run_salt * 0xbf58476d1ce4e5b9ULL + 1);
+  return simulator_.Execute(plan, job.catalog, seed);
+}
+
+}  // namespace qo::engine

@@ -1,0 +1,60 @@
+// The SCOPE engine facade: compile (parse -> logical plan -> optimize) and
+// execute (cluster simulation) a job instance under a rule configuration.
+//
+// This is the component QO-Advisor steers: the pipeline talks to it for
+// recompilation, and the flighting service uses it for pre-production runs.
+#ifndef QO_ENGINE_ENGINE_H_
+#define QO_ENGINE_ENGINE_H_
+
+#include "common/status.h"
+#include "exec/cluster.h"
+#include "exec/metrics.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/rules.h"
+#include "workload/template_gen.h"
+
+namespace qo::engine {
+
+/// Compilation + one execution of a job.
+struct JobRunResult {
+  opt::CompilationOutput compilation;
+  exec::JobMetrics metrics;
+};
+
+/// Stateless facade bundling the compiler, optimizer and cluster simulator.
+class ScopeEngine {
+ public:
+  explicit ScopeEngine(opt::OptimizerOptions optimizer_options = {},
+                       exec::ClusterConfig cluster_config = {});
+
+  /// Parses, compiles and optimizes the instance's script under `config`.
+  /// CompileError on parse/semantic errors or infeasible configurations.
+  Result<opt::CompilationOutput> Compile(const workload::JobInstance& job,
+                                         const opt::RuleConfig& config) const;
+
+  /// Compile + execute. `run_salt` differentiates repeated executions of the
+  /// same instance (A/A and A/B runs); identical salts replay identically.
+  Result<JobRunResult> Run(const workload::JobInstance& job,
+                           const opt::RuleConfig& config,
+                           uint64_t run_salt) const;
+
+  /// Executes an already-compiled plan.
+  exec::JobMetrics Execute(const workload::JobInstance& job,
+                           const opt::PhysicalPlan& plan,
+                           uint64_t run_salt) const;
+
+  const opt::OptimizerOptions& optimizer_options() const {
+    return optimizer_options_;
+  }
+  const exec::ClusterConfig& cluster_config() const {
+    return simulator_.config();
+  }
+
+ private:
+  opt::OptimizerOptions optimizer_options_;
+  exec::ClusterSimulator simulator_;
+};
+
+}  // namespace qo::engine
+
+#endif  // QO_ENGINE_ENGINE_H_

@@ -1,0 +1,304 @@
+#include "exec/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+
+namespace qo::exec {
+
+namespace {
+
+using opt::PhysOpKind;
+using opt::PhysicalNode;
+using opt::PhysicalPlan;
+
+/// Per-node resource usage, noiseless.
+struct NodeWork {
+  double cpu_sec = 0.0;
+  double io_read_bytes = 0.0;
+  double io_write_bytes = 0.0;
+  double io_sec = 0.0;
+  double memory_bytes = 0.0;  ///< per-vertex working set
+};
+
+NodeWork ComputeNodeWork(const PhysicalPlan& plan, const PhysicalNode& n,
+                         const scope::Catalog& catalog,
+                         const ClusterConfig& c) {
+  NodeWork w;
+  auto child = [&](size_t i) -> const PhysicalNode& {
+    return plan.node(n.children[i]);
+  };
+  double rows_out = n.true_rows;
+  double bytes_out = n.true_bytes;
+  int parts = std::max(1, n.partitions);
+  switch (n.kind) {
+    case PhysOpKind::kScan: {
+      // Scans read the whole table regardless of embedded predicates.
+      double table_bytes = bytes_out;
+      auto stats = catalog.Lookup(n.table_path);
+      if (stats.ok()) table_bytes = stats.value()->true_bytes();
+      double table_rows = stats.ok() ? stats.value()->true_rows : rows_out;
+      w.io_read_bytes = table_bytes;
+      w.io_sec = table_bytes * c.io_storage_read_byte;
+      w.cpu_sec = table_rows * c.cpu_scan_row;
+      if (!n.predicates.empty()) {
+        w.cpu_sec += table_rows * c.cpu_filter_row;
+      }
+      w.memory_bytes = 64.0e6;  // extractor buffers
+      break;
+    }
+    case PhysOpKind::kFilter:
+      w.cpu_sec = child(0).true_rows * c.cpu_filter_row;
+      w.memory_bytes = 16.0e6;
+      break;
+    case PhysOpKind::kProject:
+      w.cpu_sec = child(0).true_rows * c.cpu_project_row;
+      w.memory_bytes = 16.0e6;
+      break;
+    case PhysOpKind::kHashJoin:
+      w.cpu_sec = child(1).true_rows * c.cpu_hash_build_row +
+                  child(0).true_rows * c.cpu_hash_probe_row +
+                  rows_out * c.cpu_project_row;
+      w.memory_bytes = child(1).true_bytes / parts * 1.5;
+      break;
+    case PhysOpKind::kBroadcastJoin: {
+      // Every partition fetches a replica of the broadcast side and builds
+      // a full copy of its hash table.
+      double fanout = static_cast<double>(parts);
+      w.io_read_bytes = child(1).true_bytes * fanout;
+      w.io_sec = w.io_read_bytes * c.io_shuffle_byte;
+      w.cpu_sec = child(1).true_rows * fanout * c.cpu_hash_build_row +
+                  child(0).true_rows * c.cpu_hash_probe_row +
+                  rows_out * c.cpu_project_row;
+      w.memory_bytes = child(1).true_bytes * 1.5;
+      break;
+    }
+    case PhysOpKind::kMergeJoin: {
+      double l = child(0).true_rows;
+      double r = child(1).true_rows;
+      double sort = 0.0;
+      if (l > 1) sort += l * std::log2(l) * c.cpu_sort_row_log;
+      if (r > 1) sort += r * std::log2(r) * c.cpu_sort_row_log;
+      w.cpu_sec = sort + (l + r) * c.cpu_hash_probe_row;
+      w.memory_bytes =
+          (child(0).true_bytes + child(1).true_bytes) / parts;
+      break;
+    }
+    case PhysOpKind::kHashAgg:
+    case PhysOpKind::kPartialHashAgg:
+      w.cpu_sec = child(0).true_rows * c.cpu_agg_row;
+      w.memory_bytes = bytes_out / parts * 1.5;
+      break;
+    case PhysOpKind::kStreamAgg: {
+      double r = child(0).true_rows;
+      double sort = r > 1 ? r * std::log2(r) * c.cpu_sort_row_log : 0.0;
+      w.cpu_sec = sort + r * c.cpu_agg_row * 0.5;
+      w.memory_bytes = child(0).true_bytes / parts;
+      break;
+    }
+    case PhysOpKind::kUnionAll:
+      w.cpu_sec = (child(0).true_rows + child(1).true_rows) * c.cpu_union_row;
+      w.memory_bytes = 8.0e6;
+      break;
+    case PhysOpKind::kOutput:
+      w.io_write_bytes = bytes_out;
+      w.io_sec = bytes_out * c.io_storage_write_byte;
+      w.cpu_sec = rows_out * c.cpu_project_row;
+      w.memory_bytes = 32.0e6;
+      break;
+    case PhysOpKind::kExchangeShuffle:
+    case PhysOpKind::kExchangeGather: {
+      double bytes = child(0).true_bytes;
+      w.io_write_bytes = bytes;
+      w.io_read_bytes = bytes;
+      w.io_sec = 2.0 * bytes * c.io_shuffle_byte;
+      w.cpu_sec = bytes * c.cpu_exchange_byte;
+      w.memory_bytes = 32.0e6;
+      break;
+    }
+    case PhysOpKind::kExchangeBroadcast: {
+      // The producer writes the broadcast payload once; the replicated
+      // reads are accounted to the consuming join (they run in the
+      // consumer's partitions).
+      double bytes = child(0).true_bytes;
+      w.io_write_bytes = bytes;
+      w.io_sec = bytes * c.io_shuffle_byte;
+      w.cpu_sec = bytes * c.cpu_exchange_byte;
+      w.memory_bytes = bytes;
+      break;
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<Stage> DecomposeIntoStages(const PhysicalPlan& plan,
+                                       const scope::Catalog& catalog,
+                                       const ClusterConfig& config) {
+  std::vector<Stage> stages;
+  std::unordered_map<int, int> node_stage;  // node id -> stage index
+
+  // Assign nodes to stages top-down from the roots; exchanges start a new
+  // stage for their subtree (the exchange itself models the boundary and is
+  // accounted to the producer stage).
+  std::function<void(int, int)> assign = [&](int node_id, int stage_idx) {
+    if (node_stage.count(node_id) > 0) {
+      // Shared node (DAG): it already runs in its first stage; later
+      // consumers just depend on that stage.
+      return;
+    }
+    node_stage[node_id] = stage_idx;
+    stages[stage_idx].node_ids.push_back(node_id);
+    const PhysicalNode& n = plan.node(node_id);
+    for (int c : n.children) {
+      if (opt::IsExchange(plan.node(c).kind)) {
+        int next = static_cast<int>(stages.size());
+        stages.emplace_back();
+        assign(c, next);
+      } else {
+        assign(c, stage_idx);
+      }
+    }
+  };
+  for (int r : plan.roots) {
+    int idx = static_cast<int>(stages.size());
+    stages.emplace_back();
+    assign(r, idx);
+  }
+
+  // Stage dependencies: an edge crossing stages makes the consumer stage
+  // wait on the producer stage.
+  for (const auto& [node_id, stage_idx] : node_stage) {
+    for (int c : plan.node(node_id).children) {
+      int child_stage = node_stage[c];
+      if (child_stage != stage_idx) {
+        stages[stage_idx].upstream.push_back(child_stage);
+      }
+    }
+  }
+
+  // Aggregate per-stage work and parallelism. Exchange operators execute
+  // their write phase in the *producer's* partitions (their own partition
+  // annotation is the downstream fan-out), so they do not raise the stage's
+  // vertex count.
+  for (Stage& stage : stages) {
+    int non_exchange_parts = 0;
+    int exchange_child_parts = 1;
+    for (int id : stage.node_ids) {
+      const PhysicalNode& n = plan.node(id);
+      NodeWork w = ComputeNodeWork(plan, n, catalog, config);
+      stage.cpu_sec += w.cpu_sec;
+      stage.io_sec += w.io_sec;
+      if (opt::IsExchange(n.kind)) {
+        exchange_child_parts = std::max(
+            exchange_child_parts, plan.node(n.children[0]).partitions);
+      } else {
+        non_exchange_parts = std::max(non_exchange_parts, n.partitions);
+      }
+      stage.memory_bytes_per_vertex =
+          std::max(stage.memory_bytes_per_vertex, w.memory_bytes);
+    }
+    stage.partitions =
+        non_exchange_parts > 0 ? non_exchange_parts : exchange_child_parts;
+  }
+  return stages;
+}
+
+JobMetrics ClusterSimulator::Execute(const PhysicalPlan& plan,
+                                     const scope::Catalog& catalog,
+                                     uint64_t run_seed) const {
+  Rng rng(run_seed);
+  JobMetrics m;
+
+  // Deterministic byte counters and total work.
+  double total_cpu = 0.0;
+  double total_io_sec = 0.0;
+  for (const auto& n : plan.nodes) {
+    NodeWork w = ComputeNodeWork(plan, n, catalog, config_);
+    m.data_read_bytes += w.io_read_bytes;
+    m.data_written_bytes += w.io_write_bytes;
+    total_cpu += w.cpu_sec;
+    total_io_sec += w.io_sec;
+  }
+
+  std::vector<Stage> stages = DecomposeIntoStages(plan, catalog, config_);
+
+  // Vertices = total task instances across stages.
+  for (const Stage& s : stages) m.vertices += s.partitions;
+
+  // --- PNhours: bounded noise, occasional retries. ---
+  double cpu_noisy =
+      total_cpu * rng.LogNormal(0.0, config_.pn_cpu_sigma);
+  double io_noisy = total_io_sec * rng.LogNormal(0.0, config_.pn_io_sigma);
+  for (const Stage& s : stages) {
+    if (rng.Bernoulli(config_.retry_prob)) {
+      double extra = config_.retry_fraction * rng.Uniform();
+      cpu_noisy += s.cpu_sec * extra;
+      io_noisy += s.io_sec * extra;
+    }
+  }
+  m.cpu_hours = cpu_noisy / 3600.0;
+  m.io_hours = io_noisy / 3600.0;
+  m.pn_hours = m.cpu_hours + m.io_hours;
+
+  // --- Latency: critical path over stages with wave scheduling, per-stage
+  // congestion and heavy-tailed stragglers. ---
+  // Draw per-stage noise first so the values do not depend on traversal
+  // order (keeps runs reproducible for a given seed).
+  std::vector<double> stage_noise(stages.size(), 1.0);
+  for (size_t i = 0; i < stages.size(); ++i) {
+    double congestion = rng.LogNormal(0.0, config_.stage_congestion_sigma);
+    double straggler = 1.0;
+    if (rng.Bernoulli(config_.straggler_prob)) {
+      straggler = std::min(rng.Pareto(1.0, config_.straggler_alpha),
+                           config_.straggler_cap);
+    }
+    stage_noise[i] = congestion * straggler;
+  }
+  // Finish times via memoized recursion over the stage DAG (upstream stage
+  // indices are not monotonic when plans share subtrees).
+  std::vector<double> finish(stages.size(), -1.0);
+  std::function<double(size_t)> finish_of = [&](size_t idx) -> double {
+    if (finish[idx] >= 0.0) return finish[idx];
+    finish[idx] = 0.0;  // break (impossible) cycles defensively
+    const Stage& s = stages[idx];
+    double ready = 0.0;
+    for (int up : s.upstream) {
+      ready = std::max(ready, finish_of(static_cast<size_t>(up)));
+    }
+    int parts = std::max(1, s.partitions);
+    double per_vertex = (s.cpu_sec + s.io_sec) / parts;
+    int waves = (parts + config_.tokens - 1) / config_.tokens;
+    // The slowest vertex governs the wave; approximate the expected max of
+    // `parts` lognormals with a sqrt(log P) inflation.
+    double tail_inflation =
+        1.0 + 0.12 * std::sqrt(std::log(static_cast<double>(parts) + 1.0));
+    double duration = config_.stage_startup_sec +
+                      static_cast<double>(waves) * per_vertex *
+                          stage_noise[idx] * tail_inflation;
+    finish[idx] = ready + duration;
+    return finish[idx];
+  };
+  double critical = 0.0;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    critical = std::max(critical, finish_of(i));
+  }
+  double job_congestion = rng.LogNormal(0.0, config_.job_congestion_sigma);
+  m.latency_sec = config_.job_overhead_sec * rng.LogNormal(0.0, 0.15) +
+                  critical * job_congestion;
+
+  // --- Memory. ---
+  double max_mem = 0.0, sum_mem = 0.0;
+  for (const Stage& s : stages) {
+    double mem = s.memory_bytes_per_vertex * rng.LogNormal(0.0, 0.05);
+    max_mem = std::max(max_mem, mem);
+    sum_mem += mem;
+  }
+  m.max_memory_bytes = max_mem;
+  m.avg_memory_bytes = stages.empty() ? 0.0 : sum_mem / stages.size();
+  return m;
+}
+
+}  // namespace qo::exec

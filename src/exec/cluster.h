@@ -1,0 +1,108 @@
+// Distributed execution simulator for SCOPE physical plans.
+//
+// The simulator decomposes a physical plan into stages at exchange
+// boundaries, assigns vertices (tasks) per stage from the compile-time
+// partition counts, and derives runtime metrics from the plan's ground-truth
+// cardinalities. Its *cloud variability model* reproduces the statistical
+// structure the paper measures in Sec. 5.1:
+//
+//  - Latency is dominated by the stage critical path with per-stage
+//    congestion noise, wave scheduling against the token budget, and
+//    heavy-tailed (Pareto) stragglers -> high A/A variance (Fig. 3).
+//  - PNhours sums CPU and I/O time over all vertices; I/O bytes are
+//    deterministic given the plan and inputs, so PNhours variance stays
+//    bounded (Fig. 5).
+#ifndef QO_EXEC_CLUSTER_H_
+#define QO_EXEC_CLUSTER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/metrics.h"
+#include "optimizer/physical_plan.h"
+#include "scope/catalog.h"
+
+namespace qo::exec {
+
+/// Ground-truth timing constants and noise parameters of the simulated
+/// cluster. The timing constants deliberately differ from the optimizer's
+/// CostParams — that mismatch (plus cardinality estimation error) is what
+/// makes estimated cost an unreliable predictor of runtime (paper Sec. 5.2).
+struct ClusterConfig {
+  // Per-job container budget ("tokens" in SCOPE terminology).
+  int tokens = 64;
+
+  // CPU seconds per row by operator class.
+  double cpu_scan_row = 1.2e-8;
+  double cpu_filter_row = 8.0e-9;
+  double cpu_project_row = 4.0e-9;
+  double cpu_hash_build_row = 3.0e-8;
+  double cpu_hash_probe_row = 1.5e-8;
+  double cpu_sort_row_log = 8.0e-9;
+  double cpu_agg_row = 2.5e-8;
+  double cpu_union_row = 2.0e-9;
+  double cpu_exchange_byte = 3.0e-9;  ///< serialization CPU
+
+  // I/O seconds per byte. Shuffle I/O is substantially more expensive than
+  // the optimizer's cost model believes (disk spill + network contention) —
+  // the systematic misestimation that makes exchange-removing rule flips
+  // genuinely valuable, as observed in SCOPE [37].
+  double io_storage_read_byte = 1.0 / 400.0e6;
+  double io_storage_write_byte = 1.0 / 150.0e6;
+  double io_shuffle_byte = 1.0 / 45.0e6;
+
+  // Scheduling.
+  double stage_startup_sec = 0.8;
+  double job_overhead_sec = 25.0;
+
+  // Variability model.
+  double stage_congestion_sigma = 0.30;  ///< lognormal per stage, latency only
+  double job_congestion_sigma = 0.10;    ///< lognormal per run, latency only
+  double straggler_prob = 0.07;          ///< per-stage heavy-tail event
+  double straggler_alpha = 1.4;          ///< Pareto shape of the straggler
+  double straggler_cap = 14.0;           ///< at most this slowdown
+  double pn_cpu_sigma = 0.05;            ///< lognormal on total CPU time
+  double pn_io_sigma = 0.008;            ///< lognormal on total I/O time
+  double retry_prob = 0.03;              ///< a stage re-runs some vertices
+  double retry_fraction = 0.35;          ///< extra work fraction on retry
+};
+
+/// One pipeline of operators between exchange boundaries.
+struct Stage {
+  std::vector<int> node_ids;
+  std::vector<int> upstream;  ///< stages this stage waits for
+  int partitions = 1;
+  double cpu_sec = 0.0;  ///< total across vertices, noiseless
+  double io_sec = 0.0;
+  double memory_bytes_per_vertex = 0.0;
+};
+
+/// Deterministic decomposition of a plan into stages (exposed for tests and
+/// for the latency model).
+std::vector<Stage> DecomposeIntoStages(const opt::PhysicalPlan& plan,
+                                       const scope::Catalog& catalog,
+                                       const ClusterConfig& config);
+
+/// The cluster simulator. Each Execute() call is one run of the job; the
+/// `run_seed` determines all stochastic draws, so A/A runs with different
+/// seeds reproduce cluster variance while identical seeds are exactly
+/// repeatable.
+class ClusterSimulator {
+ public:
+  explicit ClusterSimulator(ClusterConfig config = {}) : config_(config) {}
+
+  const ClusterConfig& config() const { return config_; }
+
+  /// Executes `plan` once. The catalog supplies ground-truth table sizes for
+  /// scan I/O. Byte counters in the result are noise-free (paper Sec. 4.3:
+  /// "data read and data written remain constant" across A/A runs).
+  JobMetrics Execute(const opt::PhysicalPlan& plan,
+                     const scope::Catalog& catalog, uint64_t run_seed) const;
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace qo::exec
+
+#endif  // QO_EXEC_CLUSTER_H_

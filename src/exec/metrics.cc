@@ -1,0 +1,17 @@
+#include "exec/metrics.h"
+
+#include <cstdio>
+
+namespace qo::exec {
+
+std::string JobMetrics::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "latency=%.1fs pnhours=%.3f vertices=%d read=%.1fMB "
+                "written=%.1fMB",
+                latency_sec, pn_hours, vertices, data_read_bytes / 1e6,
+                data_written_bytes / 1e6);
+  return buf;
+}
+
+}  // namespace qo::exec

@@ -1,0 +1,35 @@
+// Runtime metrics logged by the (simulated) SCOPE runtime for each job run.
+#ifndef QO_EXEC_METRICS_H_
+#define QO_EXEC_METRICS_H_
+
+#include <string>
+
+namespace qo::exec {
+
+/// Metrics of interest (paper Sec. 2.1): job latency, PNhours (total CPU +
+/// I/O time over all vertices), vertices count, plus the I/O byte counters
+/// the validation model consumes (Sec. 4.3).
+struct JobMetrics {
+  double latency_sec = 0.0;
+  double pn_hours = 0.0;
+  int vertices = 0;
+  double data_read_bytes = 0.0;
+  double data_written_bytes = 0.0;
+  double max_memory_bytes = 0.0;
+  double avg_memory_bytes = 0.0;
+  double cpu_hours = 0.0;  ///< CPU component of pn_hours
+  double io_hours = 0.0;   ///< I/O component of pn_hours
+
+  std::string ToString() const;
+};
+
+/// Relative delta helper: (new / old) - 1, the convention used throughout
+/// the paper's figures (delta > 0 is a regression).
+inline double RelativeDelta(double new_value, double old_value) {
+  if (old_value == 0.0) return 0.0;
+  return new_value / old_value - 1.0;
+}
+
+}  // namespace qo::exec
+
+#endif  // QO_EXEC_METRICS_H_

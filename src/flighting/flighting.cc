@@ -1,0 +1,126 @@
+#include "flighting/flighting.h"
+
+#include <algorithm>
+
+namespace qo::flight {
+
+const char* FlightOutcomeToString(FlightOutcome o) {
+  switch (o) {
+    case FlightOutcome::kSuccess:
+      return "success";
+    case FlightOutcome::kFailure:
+      return "failure";
+    case FlightOutcome::kTimeout:
+      return "timeout";
+    case FlightOutcome::kFiltered:
+      return "filtered";
+  }
+  return "unknown";
+}
+
+FlightingService::FlightingService(const engine::ScopeEngine* engine,
+                                   FlightingConfig config)
+    : engine_(engine), config_(config), rng_(config.seed) {}
+
+Result<FlightResult> FlightingService::FlightOne(const FlightRequest& request,
+                                                 uint64_t run_salt) {
+  if (budget_used_hours_ >= config_.total_budget_machine_hours) {
+    return Status::ResourceExhausted("flighting budget exhausted");
+  }
+  FlightResult result;
+  result.job_id = request.job.job_id;
+
+  // Environmental failures happen before any machine time is spent.
+  if (rng_.Bernoulli(config_.failure_prob)) {
+    result.outcome = FlightOutcome::kFailure;
+    return result;
+  }
+  if (rng_.Bernoulli(config_.filtered_prob)) {
+    result.outcome = FlightOutcome::kFiltered;
+    return result;
+  }
+
+  auto base = engine_->Run(request.job, request.baseline, run_salt * 2 + 1);
+  if (!base.ok()) {
+    result.outcome = FlightOutcome::kFailure;
+    return result;
+  }
+  auto cand = engine_->Run(request.job, request.candidate, run_salt * 2 + 2);
+  if (!cand.ok()) {
+    result.outcome = FlightOutcome::kFailure;
+    return result;
+  }
+  result.baseline = base->metrics;
+  result.candidate = cand->metrics;
+  result.machine_hours =
+      base->metrics.pn_hours + cand->metrics.pn_hours;
+  budget_used_hours_ += result.machine_hours;
+
+  double hours = std::max(base->metrics.latency_sec,
+                          cand->metrics.latency_sec) /
+                 3600.0;
+  if (hours > config_.per_job_timeout_hours) {
+    result.outcome = FlightOutcome::kTimeout;
+    return result;
+  }
+  result.outcome = FlightOutcome::kSuccess;
+  result.pn_hours_delta =
+      exec::RelativeDelta(cand->metrics.pn_hours, base->metrics.pn_hours);
+  result.latency_delta =
+      exec::RelativeDelta(cand->metrics.latency_sec, base->metrics.latency_sec);
+  result.vertices_delta = exec::RelativeDelta(
+      static_cast<double>(cand->metrics.vertices),
+      static_cast<double>(base->metrics.vertices));
+  result.data_read_delta = exec::RelativeDelta(
+      cand->metrics.data_read_bytes, base->metrics.data_read_bytes);
+  result.data_written_delta = exec::RelativeDelta(
+      cand->metrics.data_written_bytes, base->metrics.data_written_bytes);
+  return result;
+}
+
+std::vector<FlightResult> FlightingService::FlightBatch(
+    std::vector<FlightRequest> requests, uint64_t run_salt) {
+  // Fixed-size queue: excess requests are dropped up front.
+  if (requests.size() > config_.queue_capacity) {
+    requests.resize(config_.queue_capacity);
+  }
+  // Most promising (lowest estimated-cost delta) first, so partial budget
+  // still yields useful suggestions (Sec. 4.3).
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const FlightRequest& a, const FlightRequest& b) {
+                     return a.est_cost_delta < b.est_cost_delta;
+                   });
+  std::vector<FlightResult> results;
+  results.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto r = FlightOne(requests[i], run_salt + i);
+    if (!r.ok()) {
+      // Budget exhausted: everything left reports as timeout.
+      FlightResult timed_out;
+      timed_out.outcome = FlightOutcome::kTimeout;
+      timed_out.job_id = requests[i].job.job_id;
+      results.push_back(std::move(timed_out));
+      continue;
+    }
+    results.push_back(std::move(r).value());
+  }
+  return results;
+}
+
+Result<std::vector<exec::JobMetrics>> FlightingService::RunAA(
+    const workload::JobInstance& job, const opt::RuleConfig& config, int runs,
+    uint64_t run_salt) {
+  QO_ASSIGN_OR_RETURN(opt::CompilationOutput compiled,
+                      engine_->Compile(job, config));
+  std::vector<exec::JobMetrics> metrics;
+  metrics.reserve(static_cast<size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    exec::JobMetrics m =
+        engine_->Execute(job, compiled.plan, run_salt * 1000 + i);
+    budget_used_hours_ += m.pn_hours;
+    metrics.push_back(m);
+  }
+  return metrics;
+}
+
+}  // namespace qo::flight

@@ -1,0 +1,111 @@
+// The SCOPE Flighting Service simulator: pre-production A/B (and A/A) runs
+// under a constrained budget (paper Secs. 2.1 and 4.3).
+//
+// Jobs are flighted through a fixed-size queue; each flight re-runs the job
+// with the default and the candidate configuration and reports metric
+// deltas. The service enforces:
+//   (1) a per-job flighting timeout,
+//   (2) a total machine-hour budget,
+//   (3) the four paper outcomes: failure (e.g. expired inputs), timeout,
+//       filtered (unsupported job classes), success.
+#ifndef QO_FLIGHTING_FLIGHTING_H_
+#define QO_FLIGHTING_FLIGHTING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/engine.h"
+#include "exec/metrics.h"
+#include "optimizer/rules.h"
+#include "workload/template_gen.h"
+
+namespace qo::flight {
+
+enum class FlightOutcome {
+  kSuccess,
+  kFailure,   ///< job information or input data expired
+  kTimeout,   ///< exceeded the per-job flighting time cap
+  kFiltered,  ///< job class not supported by the service
+};
+
+const char* FlightOutcomeToString(FlightOutcome o);
+
+/// One flighting request: re-run `job` under baseline vs candidate configs.
+struct FlightRequest {
+  workload::JobInstance job;
+  opt::RuleConfig baseline = opt::RuleConfig::Default();
+  opt::RuleConfig candidate = opt::RuleConfig::Default();
+  /// Estimated-cost delta from recompilation; used for priority ordering
+  /// (lower first) by the pipeline.
+  double est_cost_delta = 0.0;
+};
+
+/// Result of one A/B flight.
+struct FlightResult {
+  FlightOutcome outcome = FlightOutcome::kFailure;
+  std::string job_id;
+  exec::JobMetrics baseline;
+  exec::JobMetrics candidate;
+  // Relative deltas (candidate/baseline - 1); valid only on success.
+  double pn_hours_delta = 0.0;
+  double latency_delta = 0.0;
+  double vertices_delta = 0.0;
+  double data_read_delta = 0.0;
+  double data_written_delta = 0.0;
+  /// Machine-hours consumed by this flight (both arms).
+  double machine_hours = 0.0;
+};
+
+struct FlightingConfig {
+  size_t queue_capacity = 64;     ///< max requests accepted per batch
+  double per_job_timeout_hours = 24.0;
+  double total_budget_machine_hours = 2000.0;
+  double failure_prob = 0.04;
+  double filtered_prob = 0.03;
+  uint64_t seed = 31;
+};
+
+/// The flighting service. Holds a reference to the engine (pre-production
+/// cluster); each batch is processed in priority order until the machine-
+/// hour budget runs out.
+class FlightingService {
+ public:
+  FlightingService(const engine::ScopeEngine* engine,
+                   FlightingConfig config = {});
+
+  /// Flights one request now (ignores the queue; still consumes budget).
+  /// ResourceExhausted when the budget is already spent.
+  Result<FlightResult> FlightOne(const FlightRequest& request,
+                                 uint64_t run_salt);
+
+  /// Accepts up to queue_capacity requests, orders them by estimated-cost
+  /// delta (most promising first, Sec. 4.3), and flights until the budget is
+  /// exhausted. Requests that never ran are reported as kTimeout.
+  std::vector<FlightResult> FlightBatch(std::vector<FlightRequest> requests,
+                                        uint64_t run_salt);
+
+  /// Runs the same configuration `runs` times (A/A testing, Sec. 5.1).
+  Result<std::vector<exec::JobMetrics>> RunAA(
+      const workload::JobInstance& job, const opt::RuleConfig& config,
+      int runs, uint64_t run_salt);
+
+  double budget_used_hours() const { return budget_used_hours_; }
+  double budget_remaining_hours() const {
+    return config_.total_budget_machine_hours - budget_used_hours_;
+  }
+  void ResetBudget() { budget_used_hours_ = 0.0; }
+
+  const FlightingConfig& config() const { return config_; }
+
+ private:
+  const engine::ScopeEngine* engine_;
+  FlightingConfig config_;
+  Rng rng_;
+  double budget_used_hours_ = 0.0;
+};
+
+}  // namespace qo::flight
+
+#endif  // QO_FLIGHTING_FLIGHTING_H_

@@ -1,0 +1,1349 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "optimizer/cardinality.h"
+
+namespace qo::opt {
+
+namespace {
+
+using scope::LogicalOpKind;
+using scope::LogicalNode;
+using scope::LogicalPlan;
+using scope::Predicate;
+using scope::Schema;
+using scope::SelectItem;
+
+// ---------------------------------------------------------------------------
+// Physical properties (data distribution) requested/delivered during search.
+// ---------------------------------------------------------------------------
+
+struct PhysProp {
+  enum class Kind {
+    kAny,        ///< request only: no requirement
+    kRandom,     ///< delivered only: partitioned with no alignment
+    kHash,       ///< hash partitioned on `key`
+    kBroadcast,  ///< replicated to `partitions_hint` consumer partitions
+    kSingleton,  ///< single partition
+  };
+  Kind kind = Kind::kAny;
+  std::string key;
+  int partitions_hint = 0;  ///< consumer partitions for kBroadcast requests
+
+  static PhysProp Any() { return {Kind::kAny, "", 0}; }
+  static PhysProp Random() { return {Kind::kRandom, "", 0}; }
+  static PhysProp Hash(std::string k) { return {Kind::kHash, std::move(k), 0}; }
+  static PhysProp Broadcast(int consumers) {
+    return {Kind::kBroadcast, "", consumers};
+  }
+  static PhysProp Singleton() { return {Kind::kSingleton, "", 0}; }
+
+  uint64_t HashValue() const {
+    uint64_t h = static_cast<uint64_t>(kind) * 0x9e3779b97f4a7c15ULL;
+    for (char c : key) h = h * 131 + static_cast<unsigned char>(c);
+    h ^= static_cast<uint64_t>(partitions_hint) << 32;
+    return h;
+  }
+
+  /// True if a delivered property satisfies this requirement.
+  bool SatisfiedBy(const PhysProp& delivered) const {
+    switch (kind) {
+      case Kind::kAny:
+        return true;
+      case Kind::kHash:
+        return (delivered.kind == Kind::kHash && delivered.key == key) ||
+               delivered.kind == Kind::kSingleton;
+      case Kind::kSingleton:
+        return delivered.kind == Kind::kSingleton;
+      case Kind::kBroadcast:
+        return delivered.kind == Kind::kBroadcast;
+      case Kind::kRandom:
+        return true;  // never used as a requirement
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Normalization: destructive rewrites applied before cost-based search.
+// Real optimizers apply these heuristically rather than cost-based, which is
+// exactly why disabling one can occasionally *improve* the final plan.
+// ---------------------------------------------------------------------------
+
+class Normalizer {
+ public:
+  Normalizer(LogicalPlan* plan, const RuleConfig& config)
+      : plan_(plan), config_(config) {}
+
+  /// Runs all enabled rewrites to fixpoint; returns the bit set of rules
+  /// that actually changed the plan.
+  BitVector256 Run() {
+    for (int& root : plan_->roots) root = Rewrite(root);
+    PruneColumns();
+    return fired_;
+  }
+
+ private:
+  bool Enabled(int rule) const { return config_.IsEnabled(rule); }
+
+  int Rewrite(int id) {
+    auto it = memo_.find(id);
+    if (it != memo_.end()) return it->second;
+    LogicalNode node = plan_->node(id);  // copy: children may be replaced
+    for (int& c : node.children) c = Rewrite(c);
+    int current = plan_->AddNode(node);
+    // Apply local rules until none fires (bounded for safety).
+    for (int iter = 0; iter < 16; ++iter) {
+      int next = ApplyLocalRules(current);
+      if (next == current) break;
+      current = next;
+    }
+    memo_[id] = current;
+    return current;
+  }
+
+  /// Applies local rules to a *newly created* node until fixpoint (new
+  /// nodes are not covered by the id-based memo in Rewrite).
+  int RunLocalFixpoint(int id) {
+    for (int iter = 0; iter < 16; ++iter) {
+      int next = ApplyLocalRules(id);
+      if (next == id) break;
+      id = next;
+    }
+    return id;
+  }
+
+  int ApplyLocalRules(int id) {
+    const LogicalNode& n = plan_->node(id);
+    if (n.kind != LogicalOpKind::kFilter) {
+      if (n.kind == LogicalOpKind::kProject && Enabled(rules::kProjectMerge)) {
+        int merged = TryProjectMerge(id);
+        if (merged != id) return merged;
+      }
+      return id;
+    }
+    const LogicalNode& child = plan_->node(n.children[0]);
+    switch (child.kind) {
+      case LogicalOpKind::kFilter:
+        if (Enabled(rules::kFilterMerge)) return MergeFilters(id);
+        break;
+      case LogicalOpKind::kProject:
+        if (Enabled(rules::kFilterPushdownBelowProject)) {
+          int pushed = PushFilterBelowProject(id);
+          if (pushed != id) return pushed;
+        }
+        break;
+      case LogicalOpKind::kJoin: {
+        int pushed = PushFilterIntoJoin(id);
+        if (pushed != id) return pushed;
+        break;
+      }
+      case LogicalOpKind::kUnionAll:
+        if (Enabled(rules::kFilterPushdownBelowUnion)) {
+          return PushFilterBelowUnion(id);
+        }
+        break;
+      case LogicalOpKind::kScan:
+        if (Enabled(rules::kFilterIntoScan)) return PushFilterIntoScan(id);
+        break;
+      default:
+        break;
+    }
+    return id;
+  }
+
+  int MergeFilters(int id) {
+    const LogicalNode& outer = plan_->node(id);
+    const LogicalNode& inner = plan_->node(outer.children[0]);
+    LogicalNode merged = inner;
+    merged.predicates.insert(merged.predicates.end(),
+                             outer.predicates.begin(),
+                             outer.predicates.end());
+    fired_.Set(rules::kFilterMerge);
+    return plan_->AddNode(std::move(merged));
+  }
+
+  int PushFilterBelowProject(int id) {
+    const LogicalNode& filter = plan_->node(id);
+    const LogicalNode& project = plan_->node(filter.children[0]);
+    const Schema& input = plan_->node(project.children[0]).schema;
+    // Translate each predicate column through the projection; bail if any
+    // column is computed (aggregates never appear in kProject).
+    std::vector<Predicate> translated;
+    for (const Predicate& p : filter.predicates) {
+      std::string source;
+      for (const SelectItem& item : project.projections) {
+        if (item.OutputName() == p.column) {
+          source = item.column;
+          break;
+        }
+      }
+      if (source.empty() || !input.HasColumn(source)) return id;
+      Predicate q = p;
+      q.column = source;
+      translated.push_back(std::move(q));
+    }
+    LogicalNode new_filter;
+    new_filter.kind = LogicalOpKind::kFilter;
+    new_filter.children = {project.children[0]};
+    new_filter.predicates = std::move(translated);
+    new_filter.schema = input;
+    int nf = RunLocalFixpoint(plan_->AddNode(std::move(new_filter)));
+    LogicalNode new_project = project;
+    new_project.children = {nf};
+    fired_.Set(rules::kFilterPushdownBelowProject);
+    return plan_->AddNode(std::move(new_project));
+  }
+
+  int PushFilterIntoJoin(int id) {
+    const LogicalNode filter = plan_->node(id);
+    const LogicalNode join = plan_->node(filter.children[0]);
+    const Schema& left = plan_->node(join.children[0]).schema;
+    const Schema& right = plan_->node(join.children[1]).schema;
+    std::vector<Predicate> to_left, to_right, rest;
+    for (const Predicate& p : filter.predicates) {
+      if (left.HasColumn(p.column) &&
+          Enabled(rules::kFilterPushdownIntoJoinLeft)) {
+        to_left.push_back(p);
+      } else if (right.HasColumn(p.column) &&
+                 Enabled(rules::kFilterPushdownIntoJoinRight)) {
+        to_right.push_back(p);
+      } else {
+        rest.push_back(p);
+      }
+    }
+    if (to_left.empty() && to_right.empty()) return id;
+    LogicalNode new_join = join;
+    if (!to_left.empty()) {
+      LogicalNode f;
+      f.kind = LogicalOpKind::kFilter;
+      f.children = {join.children[0]};
+      f.predicates = std::move(to_left);
+      f.schema = left;
+      new_join.children[0] = RunLocalFixpoint(plan_->AddNode(std::move(f)));
+      fired_.Set(rules::kFilterPushdownIntoJoinLeft);
+    }
+    if (!to_right.empty()) {
+      LogicalNode f;
+      f.kind = LogicalOpKind::kFilter;
+      f.children = {join.children[1]};
+      f.predicates = std::move(to_right);
+      f.schema = right;
+      new_join.children[1] = RunLocalFixpoint(plan_->AddNode(std::move(f)));
+      fired_.Set(rules::kFilterPushdownIntoJoinRight);
+    }
+    int nj = plan_->AddNode(std::move(new_join));
+    if (rest.empty()) return nj;
+    LogicalNode new_filter = filter;
+    new_filter.children = {nj};
+    new_filter.predicates = std::move(rest);
+    return plan_->AddNode(std::move(new_filter));
+  }
+
+  int PushFilterBelowUnion(int id) {
+    const LogicalNode filter = plan_->node(id);
+    const LogicalNode union_node = plan_->node(filter.children[0]);
+    LogicalNode new_union = union_node;
+    for (int side = 0; side < 2; ++side) {
+      LogicalNode f;
+      f.kind = LogicalOpKind::kFilter;
+      f.children = {union_node.children[side]};
+      f.predicates = filter.predicates;
+      f.schema = plan_->node(union_node.children[side]).schema;
+      new_union.children[side] = RunLocalFixpoint(plan_->AddNode(std::move(f)));
+    }
+    fired_.Set(rules::kFilterPushdownBelowUnion);
+    return plan_->AddNode(std::move(new_union));
+  }
+
+  int PushFilterIntoScan(int id) {
+    const LogicalNode& filter = plan_->node(id);
+    LogicalNode scan = plan_->node(filter.children[0]);
+    scan.predicates.insert(scan.predicates.end(), filter.predicates.begin(),
+                           filter.predicates.end());
+    fired_.Set(rules::kFilterIntoScan);
+    return plan_->AddNode(std::move(scan));
+  }
+
+  int TryProjectMerge(int id) {
+    const LogicalNode& outer = plan_->node(id);
+    const LogicalNode& inner = plan_->node(outer.children[0]);
+    if (inner.kind != LogicalOpKind::kProject) return id;
+    std::vector<SelectItem> merged_items;
+    for (const SelectItem& item : outer.projections) {
+      std::string source;
+      for (const SelectItem& in_item : inner.projections) {
+        if (in_item.OutputName() == item.column) {
+          source = in_item.column;
+          break;
+        }
+      }
+      if (source.empty()) return id;
+      SelectItem m;
+      m.column = source;
+      m.alias = item.OutputName();
+      merged_items.push_back(std::move(m));
+    }
+    LogicalNode merged = outer;
+    merged.children = {inner.children[0]};
+    merged.projections = std::move(merged_items);
+    fired_.Set(rules::kProjectMerge);
+    return plan_->AddNode(std::move(merged));
+  }
+
+  /// Column pruning below joins and aggregates: inserts narrowing Projects
+  /// when a child carries columns no consumer needs.
+  void PruneColumns() {
+    if (!Enabled(rules::kProjectPruneBelowJoin) &&
+        !Enabled(rules::kProjectPruneBelowAgg)) {
+      return;
+    }
+    // Required column sets, propagated from the roots down.
+    std::unordered_map<int, std::unordered_set<std::string>> required;
+    std::vector<int> order = TopologicalOrder();
+    for (int root : plan_->roots) {
+      for (const auto& c : plan_->node(root).schema.columns) {
+        required[root].insert(c.name);
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const LogicalNode& n = plan_->node(*it);
+      std::unordered_set<std::string>& req = required[*it];
+      // Columns this node itself consumes.
+      for (const Predicate& p : n.predicates) req.insert(p.column);
+      for (const SelectItem& s : n.projections) {
+        if (s.column != "*") req.insert(s.column);
+      }
+      for (const std::string& g : n.group_by) req.insert(g);
+      if (n.kind == LogicalOpKind::kJoin) {
+        req.insert(n.left_key);
+        req.insert(n.right_key);
+      }
+      for (int c : n.children) {
+        const Schema& cs = plan_->node(c).schema;
+        for (const auto& col : cs.columns) {
+          bool needed = req.count(col.name) > 0;
+          // Projections / aggregates cut the dependency chain; other
+          // operators pass requirements through.
+          if (n.kind == LogicalOpKind::kFilter ||
+              n.kind == LogicalOpKind::kUnionAll ||
+              n.kind == LogicalOpKind::kOutput ||
+              n.kind == LogicalOpKind::kJoin) {
+            if (needed) required[c].insert(col.name);
+          } else if (needed) {
+            required[c].insert(col.name);
+          }
+        }
+        // Node-consumed columns also flow to whichever child has them.
+        for (const std::string& col : std::vector<std::string>(req.begin(),
+                                                               req.end())) {
+          if (cs.HasColumn(col)) required[c].insert(col);
+        }
+      }
+    }
+    // Insert pruning projects below joins/aggregates. Note: AddNode may
+    // reallocate the arena, so nodes are re-fetched by id after every
+    // insertion instead of held by reference.
+    for (int id : order) {
+      bool is_join = plan_->node(id).kind == LogicalOpKind::kJoin;
+      bool is_agg = plan_->node(id).kind == LogicalOpKind::kAggregate;
+      if ((is_join && !Enabled(rules::kProjectPruneBelowJoin)) ||
+          (is_agg && !Enabled(rules::kProjectPruneBelowAgg)) ||
+          (!is_join && !is_agg)) {
+        continue;
+      }
+      const size_t n_children = plan_->node(id).children.size();
+      for (size_t ci = 0; ci < n_children; ++ci) {
+        int c = plan_->node(id).children[ci];
+        if (plan_->node(c).kind == LogicalOpKind::kProject) continue;
+        const auto& req = required[c];
+        std::vector<scope::Column> kept;
+        for (const auto& col : plan_->node(c).schema.columns) {
+          if (req.count(col.name) > 0) kept.push_back(col);
+        }
+        if (kept.empty() ||
+            kept.size() >= plan_->node(c).schema.columns.size()) {
+          continue;
+        }
+        // Prune only when it meaningfully narrows rows; marginal projects
+        // cost more CPU than the width they save.
+        double kept_width = 0.0;
+        for (const auto& col : kept) {
+          kept_width += scope::ColumnTypeWidth(col.type);
+        }
+        if (kept_width > 0.75 * plan_->node(c).schema.RowWidthBytes()) {
+          continue;
+        }
+        LogicalNode proj;
+        proj.kind = LogicalOpKind::kProject;
+        proj.children = {c};
+        for (const auto& col : kept) {
+          SelectItem item;
+          item.column = col.name;
+          proj.projections.push_back(std::move(item));
+          proj.schema.columns.push_back(col);
+        }
+        int proj_id = plan_->AddNode(std::move(proj));
+        plan_->node(id).children[ci] = proj_id;
+        fired_.Set(is_join ? rules::kProjectPruneBelowJoin
+                           : rules::kProjectPruneBelowAgg);
+      }
+    }
+  }
+
+  std::vector<int> TopologicalOrder() const {
+    std::vector<int> order;
+    std::unordered_set<int> seen;
+    std::function<void(int)> visit = [&](int id) {
+      if (!seen.insert(id).second) return;
+      for (int c : plan_->node(id).children) visit(c);
+      order.push_back(id);
+    };
+    for (int r : plan_->roots) visit(r);
+    return order;  // children before parents
+  }
+
+  LogicalPlan* plan_;
+  const RuleConfig& config_;
+  BitVector256 fired_;
+  std::unordered_map<int, int> memo_;
+};
+
+// ---------------------------------------------------------------------------
+// Memo structures.
+// ---------------------------------------------------------------------------
+
+struct MExpr {
+  LogicalOpKind kind = LogicalOpKind::kScan;
+  std::vector<int> children;  ///< group ids
+  std::string table_path;
+  std::vector<Predicate> predicates;
+  std::vector<SelectItem> projections;
+  std::vector<std::string> group_by;
+  std::string left_key;
+  std::string right_key;
+  double true_fanout = 1.0;
+  std::string output_path;
+  bool partial_agg = false;  ///< local pre-aggregation (eager agg)
+  BitVector256 derivation;   ///< transformation rules that produced this expr
+  uint32_t applied = 0;      ///< transformation-rule bitmask already tried
+
+  std::string Fingerprint() const {
+    std::string f = std::to_string(static_cast<int>(kind));
+    for (int c : children) f += "," + std::to_string(c);
+    f += "|" + table_path + "|" + left_key + "|" + right_key;
+    f += partial_agg ? "|P" : "";
+    for (const auto& p : predicates) f += "|" + p.ToString();
+    for (const auto& s : projections) f += "|" + s.ToString();
+    for (const auto& g : group_by) f += "|" + g;
+    return f;
+  }
+};
+
+struct Winner {
+  bool feasible = false;
+  double cost = 1e300;
+  int phys = -1;
+  PhysProp delivered;
+  BitVector256 rules;
+};
+
+struct Group {
+  std::vector<MExpr> exprs;
+  Schema schema;
+  RelStats est;
+  RelStats tru;
+  bool explored = false;
+  std::unordered_map<uint64_t, Winner> winners;
+  std::unordered_set<std::string> fingerprints;
+};
+
+// Local indices for the `applied` bitmask.
+enum TransformIndex {
+  kTxJoinCommute = 0,
+  kTxJoinAssoc = 1,
+  kTxEagerAggLeft = 2,
+  kTxEagerAggRight = 3,
+  kTxJoinThroughUnion = 4,
+};
+
+// ---------------------------------------------------------------------------
+// The memo optimizer.
+// ---------------------------------------------------------------------------
+
+class MemoOptimizer {
+ public:
+  MemoOptimizer(const scope::Catalog& catalog, const OptimizerOptions& options,
+                const RuleConfig& config)
+      : catalog_(catalog),
+        options_(options),
+        config_(config),
+        est_(catalog, StatsMode::kEstimated),
+        tru_(catalog, StatsMode::kTrue),
+        cost_model_(options.cost_params) {}
+
+  Result<CompilationOutput> Run(const LogicalPlan& input) {
+    QO_RETURN_IF_ERROR(config_.Validate());
+    LogicalPlan plan = input;  // normalization mutates a copy
+    Normalizer normalizer(&plan, config_);
+    BitVector256 norm_fired = normalizer.Run();
+
+    // Build memo groups from the normalized DAG.
+    std::unordered_map<int, int> node_to_group;
+    std::vector<int> root_groups;
+    for (int r : plan.roots) {
+      QO_ASSIGN_OR_RETURN(int g, BuildGroup(plan, r, &node_to_group));
+      root_groups.push_back(g);
+    }
+
+    // Optimize every output root.
+    std::vector<int> root_phys;
+    BitVector256 signature = norm_fired;
+    for (int g : root_groups) {
+      Winner w = OptimizeGroup(g, PhysProp::Any(), 0);
+      if (!w.feasible) {
+        return Status::CompileError(
+            "no physical plan under this rule configuration");
+      }
+      root_phys.push_back(w.phys);
+      signature |= w.rules;
+    }
+    // Required normalization rules fire on every compilation.
+    signature.Set(rules::kNormalizeScript);
+    signature.Set(rules::kBindReferences);
+    signature.Set(rules::kDerivePlanProperties);
+    signature.Set(rules::kValidateSchema);
+
+    CompilationOutput out;
+    out.signature = signature;
+    out.est_cost = Compact(root_phys, &out.plan);
+    return out;
+  }
+
+ private:
+  // ----- Memo construction -------------------------------------------------
+
+  Result<int> BuildGroup(const LogicalPlan& plan, int node_id,
+                         std::unordered_map<int, int>* node_to_group) {
+    auto it = node_to_group->find(node_id);
+    if (it != node_to_group->end()) return it->second;
+    const LogicalNode& n = plan.node(node_id);
+    MExpr expr;
+    expr.kind = n.kind;
+    expr.table_path = n.table_path;
+    expr.predicates = n.predicates;
+    expr.projections = n.projections;
+    expr.group_by = n.group_by;
+    expr.left_key = n.left_key;
+    expr.right_key = n.right_key;
+    expr.true_fanout = n.true_fanout;
+    expr.output_path = n.output_path;
+    for (int c : n.children) {
+      QO_ASSIGN_OR_RETURN(int g, BuildGroup(plan, c, node_to_group));
+      expr.children.push_back(g);
+    }
+    int gid = MakeGroup(std::move(expr), n.schema);
+    (*node_to_group)[node_id] = gid;
+    return gid;
+  }
+
+  int MakeGroup(MExpr expr, Schema schema) {
+    Group group;
+    group.schema = std::move(schema);
+    group.est = DeriveStats(expr, est_);
+    group.tru = DeriveStats(expr, tru_);
+    group.fingerprints.insert(expr.Fingerprint());
+    group.exprs.push_back(std::move(expr));
+    groups_.push_back(std::move(group));
+    return static_cast<int>(groups_.size()) - 1;
+  }
+
+  RelStats DeriveStats(const MExpr& e, const StatsDeriver& deriver) const {
+    auto child = [&](size_t i) -> const RelStats& {
+      return deriver.mode() == StatsMode::kTrue ? groups_[e.children[i]].tru
+                                                : groups_[e.children[i]].est;
+    };
+    switch (e.kind) {
+      case LogicalOpKind::kScan: {
+        RelStats s = deriver.Scan(e.table_path, SchemaOfScan(e));
+        if (!e.predicates.empty()) s = deriver.Filter(s, e.predicates);
+        return s;
+      }
+      case LogicalOpKind::kFilter:
+        return deriver.Filter(child(0), e.predicates);
+      case LogicalOpKind::kProject:
+        return deriver.Project(child(0), e.projections);
+      case LogicalOpKind::kJoin:
+        return deriver.Join(child(0), child(1), e.left_key, e.right_key,
+                            e.true_fanout);
+      case LogicalOpKind::kAggregate:
+        if (e.partial_agg) {
+          int parts = ChoosePartitions(child(0).rows * 64.0);
+          return deriver.PartialAggregate(child(0), e.group_by, parts);
+        }
+        return deriver.Aggregate(child(0), e.group_by, e.projections);
+      case LogicalOpKind::kUnionAll:
+        return deriver.UnionAll(child(0), child(1));
+      case LogicalOpKind::kOutput:
+        return child(0);
+    }
+    return RelStats{};
+  }
+
+  // Scans derive stats from their full extracted schema (before embedded
+  // predicates); the group schema already equals it.
+  Schema SchemaOfScan(const MExpr& e) const {
+    // The scan group's schema is the extract schema itself.
+    for (const auto& g : groups_) {
+      (void)g;
+      break;
+    }
+    return scan_schema_.count(e.table_path) > 0
+               ? scan_schema_.at(e.table_path)
+               : Schema{};
+  }
+
+ public:
+  /// Remembers scan schemas before BuildGroup runs (set from Run()).
+  void RegisterScanSchemas(const LogicalPlan& plan) {
+    for (const auto& n : plan.nodes) {
+      if (n.kind == LogicalOpKind::kScan) scan_schema_[n.table_path] = n.schema;
+    }
+  }
+
+ private:
+  // ----- Exploration --------------------------------------------------------
+
+  void ExploreGroup(int gid) {
+    if (groups_[gid].explored) return;
+    groups_[gid].explored = true;
+    for (size_t i = 0;
+         i < groups_[gid].exprs.size() &&
+         groups_[gid].exprs.size() <
+             static_cast<size_t>(options_.max_exprs_per_group);
+         ++i) {
+      // Explore children first so their alternatives are visible to
+      // pattern-matching rules here.
+      {
+        MExpr expr = groups_[gid].exprs[i];
+        for (int c : expr.children) ExploreGroup(c);
+      }
+      TryJoinCommute(gid, i);
+      TryJoinAssociativity(gid, i);
+      TryEagerAggregation(gid, i, /*left_side=*/true);
+      TryEagerAggregation(gid, i, /*left_side=*/false);
+      TryJoinThroughUnion(gid, i);
+    }
+  }
+
+  bool AlreadyApplied(int gid, size_t i, TransformIndex tx) {
+    return (groups_[gid].exprs[i].applied & (1u << tx)) != 0;
+  }
+  void MarkApplied(int gid, size_t i, TransformIndex tx) {
+    groups_[gid].exprs[i].applied |= (1u << tx);
+  }
+
+  void AddExprToGroup(int gid, MExpr expr) {
+    Group& g = groups_[gid];
+    if (g.exprs.size() >= static_cast<size_t>(options_.max_exprs_per_group)) {
+      return;
+    }
+    if (!g.fingerprints.insert(expr.Fingerprint()).second) return;
+    g.exprs.push_back(std::move(expr));
+  }
+
+  void TryJoinCommute(int gid, size_t i) {
+    if (!config_.IsEnabled(rules::kJoinCommute)) return;
+    if (groups_[gid].exprs[i].kind != LogicalOpKind::kJoin) return;
+    if (AlreadyApplied(gid, i, kTxJoinCommute)) return;
+    MarkApplied(gid, i, kTxJoinCommute);
+    MExpr e = groups_[gid].exprs[i];
+    MExpr swapped = e;
+    std::swap(swapped.children[0], swapped.children[1]);
+    std::swap(swapped.left_key, swapped.right_key);
+    // Preserve ground-truth output rows: rows = L*f = R*f'.
+    double l_rows = groups_[e.children[0]].tru.rows;
+    double r_rows = std::max(1.0, groups_[e.children[1]].tru.rows);
+    swapped.true_fanout = e.true_fanout * l_rows / r_rows;
+    swapped.applied |= (1u << kTxJoinCommute);  // avoid ping-pong
+    swapped.derivation.Set(rules::kJoinCommute);
+    AddExprToGroup(gid, std::move(swapped));
+  }
+
+  void TryJoinAssociativity(int gid, size_t i) {
+    if (!config_.IsEnabled(rules::kJoinAssociativity)) return;
+    if (groups_[gid].exprs[i].kind != LogicalOpKind::kJoin) return;
+    if (AlreadyApplied(gid, i, kTxJoinAssoc)) return;
+    MarkApplied(gid, i, kTxJoinAssoc);
+    MExpr e = groups_[gid].exprs[i];  // (A join B) join C
+    int left_gid = e.children[0];
+    for (const MExpr& j2 : CollectPatternExprs(left_gid,
+                                               LogicalOpKind::kJoin)) {
+      int a_gid = j2.children[0];
+      int b_gid = j2.children[1];
+      // The key joining to C must come from B.
+      if (!groups_[b_gid].schema.HasColumn(e.left_key)) continue;
+      if (!groups_[a_gid].schema.HasColumn(j2.left_key)) continue;
+      // inner = B join C.
+      MExpr inner;
+      inner.kind = LogicalOpKind::kJoin;
+      inner.children = {b_gid, e.children[1]};
+      inner.left_key = e.left_key;
+      inner.right_key = e.right_key;
+      inner.true_fanout = e.true_fanout;
+      inner.derivation = e.derivation | j2.derivation;
+      inner.derivation.Set(rules::kJoinAssociativity);
+      Schema inner_schema = ConcatSchemas(groups_[b_gid].schema,
+                                          groups_[e.children[1]].schema);
+      int inner_gid = MakeGroup(std::move(inner), std::move(inner_schema));
+      // outer = A join inner.
+      MExpr outer;
+      outer.kind = LogicalOpKind::kJoin;
+      outer.children = {a_gid, inner_gid};
+      outer.left_key = j2.left_key;
+      outer.right_key = j2.right_key;
+      outer.true_fanout = j2.true_fanout * e.true_fanout;
+      outer.derivation = e.derivation | j2.derivation;
+      outer.derivation.Set(rules::kJoinAssociativity);
+      outer.applied |= (1u << kTxJoinAssoc);
+      AddExprToGroup(gid, std::move(outer));
+      break;  // one reassociation per expr keeps the space bounded
+    }
+  }
+
+  void TryEagerAggregation(int gid, size_t i, bool left_side) {
+    int rule = left_side ? rules::kEagerAggregationLeft
+                         : rules::kEagerAggregationRight;
+    TransformIndex tx = left_side ? kTxEagerAggLeft : kTxEagerAggRight;
+    if (!config_.IsEnabled(rule)) return;
+    MExpr e = groups_[gid].exprs[i];
+    if (e.kind != LogicalOpKind::kAggregate || e.partial_agg) return;
+    if (AlreadyApplied(gid, i, tx)) return;
+    MarkApplied(gid, i, tx);
+    int child_gid = e.children[0];
+    for (const MExpr& join : CollectPatternExprs(child_gid,
+                                                 LogicalOpKind::kJoin)) {
+      int side_gid = join.children[left_side ? 0 : 1];
+      const Schema& side_schema = groups_[side_gid].schema;
+      const std::string& join_key = left_side ? join.left_key : join.right_key;
+      // All grouping keys and aggregate inputs must come from this side.
+      bool applicable = true;
+      for (const std::string& g : e.group_by) {
+        if (!side_schema.HasColumn(g)) applicable = false;
+      }
+      for (const SelectItem& item : e.projections) {
+        if (item.column != "*" && !side_schema.HasColumn(item.column)) {
+          applicable = false;
+        }
+      }
+      if (!applicable) continue;
+      // Partial aggregate keyed by (group keys + join key).
+      MExpr partial;
+      partial.kind = LogicalOpKind::kAggregate;
+      partial.partial_agg = true;
+      partial.children = {side_gid};
+      partial.group_by = e.group_by;
+      bool key_in_groups = false;
+      for (const std::string& g : e.group_by) {
+        if (g == join_key) key_in_groups = true;
+      }
+      if (!key_in_groups) partial.group_by.push_back(join_key);
+      partial.projections = e.projections;
+      partial.derivation = e.derivation | join.derivation;
+      partial.derivation.Set(rule);
+      Schema partial_schema;
+      for (const auto& col : side_schema.columns) {
+        bool keep = col.name == join_key;
+        for (const std::string& g : e.group_by) {
+          if (g == col.name) keep = true;
+        }
+        for (const SelectItem& item : e.projections) {
+          if (item.column == col.name) keep = true;
+        }
+        if (keep) partial_schema.columns.push_back(col);
+      }
+      int partial_gid = MakeGroup(std::move(partial), std::move(partial_schema));
+      // New join over the pre-aggregated side.
+      MExpr new_join = join;
+      new_join.children[left_side ? 0 : 1] = partial_gid;
+      new_join.derivation.Set(rule);
+      Schema join_schema = ConcatSchemas(
+          groups_[new_join.children[0]].schema,
+          groups_[new_join.children[1]].schema);
+      int join_gid = MakeGroup(std::move(new_join), std::move(join_schema));
+      // Final aggregate in the original group.
+      MExpr final_agg = e;
+      final_agg.children = {join_gid};
+      final_agg.applied |= (1u << tx);
+      final_agg.derivation.Set(rule);
+      AddExprToGroup(gid, std::move(final_agg));
+      break;
+    }
+  }
+
+  void TryJoinThroughUnion(int gid, size_t i) {
+    if (!config_.IsEnabled(rules::kPushJoinThroughUnion)) return;
+    MExpr e = groups_[gid].exprs[i];
+    if (e.kind != LogicalOpKind::kJoin) return;
+    if (AlreadyApplied(gid, i, kTxJoinThroughUnion)) return;
+    MarkApplied(gid, i, kTxJoinThroughUnion);
+    int left_gid = e.children[0];
+    for (const MExpr& u : CollectPatternExprs(left_gid,
+                                              LogicalOpKind::kUnionAll)) {
+      int join_gids[2];
+      for (int side = 0; side < 2; ++side) {
+        MExpr nj = e;
+        nj.children = {u.children[side], e.children[1]};
+        nj.derivation.Set(rules::kPushJoinThroughUnion);
+        Schema s = ConcatSchemas(groups_[u.children[side]].schema,
+                                 groups_[e.children[1]].schema);
+        join_gids[side] = MakeGroup(std::move(nj), std::move(s));
+      }
+      MExpr new_union;
+      new_union.kind = LogicalOpKind::kUnionAll;
+      new_union.children = {join_gids[0], join_gids[1]};
+      new_union.derivation = e.derivation | u.derivation;
+      new_union.derivation.Set(rules::kPushJoinThroughUnion);
+      new_union.applied |= (1u << kTxJoinThroughUnion);
+      AddExprToGroup(gid, std::move(new_union));
+      break;
+    }
+  }
+
+  static Schema ConcatSchemas(const Schema& l, const Schema& r) {
+    Schema out = l;
+    for (const auto& c : r.columns) {
+      if (!out.HasColumn(c.name)) out.columns.push_back(c);
+    }
+    return out;
+  }
+
+  /// True for column-pruning projects (no renames, no computed columns) —
+  /// pattern-matching rules may safely look through them.
+  static bool IsPureProject(const MExpr& e) {
+    if (e.kind != LogicalOpKind::kProject) return false;
+    for (const SelectItem& item : e.projections) {
+      if (item.agg != scope::AggFunc::kNone || !item.alias.empty() ||
+          item.column == "*") {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Expressions of `kind` in group `gid`, looking through one level of
+  /// pure pruning projects (which rules 46/47 insert below joins and
+  /// aggregates and would otherwise hide the patterns).
+  std::vector<MExpr> CollectPatternExprs(int gid, LogicalOpKind kind) {
+    std::vector<MExpr> out;
+    for (size_t i = 0; i < groups_[gid].exprs.size(); ++i) {
+      MExpr e = groups_[gid].exprs[i];
+      if (e.kind == kind) {
+        out.push_back(std::move(e));
+      } else if (IsPureProject(e)) {
+        int below = e.children[0];
+        for (size_t j = 0; j < groups_[below].exprs.size(); ++j) {
+          if (groups_[below].exprs[j].kind == kind) {
+            out.push_back(groups_[below].exprs[j]);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  // ----- Implementation -----------------------------------------------------
+
+  Winner OptimizeGroup(int gid, const PhysProp& required, int depth) {
+    uint64_t key = required.HashValue();
+    auto found = groups_[gid].winners.find(key);
+    if (found != groups_[gid].winners.end()) return found->second;
+    // Insert an infeasible placeholder to stop runaway recursion.
+    groups_[gid].winners[key] = Winner{};
+    if (depth > 64) return Winner{};
+
+    ExploreGroup(gid);
+
+    Winner best;
+    const size_t n_exprs = groups_[gid].exprs.size();
+    for (size_t i = 0; i < n_exprs; ++i) {
+      MExpr expr = groups_[gid].exprs[i];  // copy: groups_ may grow
+      ImplementExpr(gid, expr, required, depth, &best);
+    }
+    // Enforcer: satisfy the requirement by exchanging the Any-winner.
+    if (required.kind != PhysProp::Kind::kAny) {
+      Winner any = OptimizeGroup(gid, PhysProp::Any(), depth + 1);
+      if (any.feasible) {
+        AddEnforcer(gid, any, required, &best);
+      }
+    }
+    groups_[gid].winners[key] = best;
+    return best;
+  }
+
+  void ConsiderCandidate(const Winner& candidate, Winner* best) {
+    if (!candidate.feasible) return;
+    if (!best->feasible || candidate.cost < best->cost) *best = candidate;
+  }
+
+  /// Creates a physical node for `expr` in group `gid`, annotating sizes.
+  int MakePhysNode(PhysOpKind kind, const MExpr& expr, int gid,
+                   std::vector<int> phys_children, double est_rows,
+                   double true_rows, int partitions, const Schema& schema) {
+    PhysicalNode node;
+    node.kind = kind;
+    node.children = std::move(phys_children);
+    node.schema = schema;
+    node.table_path = expr.table_path;
+    node.predicates = expr.predicates;
+    node.projections = expr.projections;
+    node.group_by = expr.group_by;
+    node.left_key = expr.left_key;
+    node.right_key = expr.right_key;
+    node.true_fanout = expr.true_fanout;
+    node.output_path = expr.output_path;
+    node.est_rows = est_rows;
+    node.est_bytes = est_rows * schema.RowWidthBytes();
+    node.true_rows = true_rows;
+    node.true_bytes = true_rows * schema.RowWidthBytes();
+    node.partitions = partitions;
+    std::vector<double> child_rows, child_bytes;
+    for (int c : node.children) {
+      child_rows.push_back(scratch_.node(c).est_rows);
+      child_bytes.push_back(scratch_.node(c).est_bytes);
+    }
+    node.local_cost = cost_model_.LocalCost(node, child_rows, child_bytes);
+    (void)gid;
+    return scratch_.AddNode(std::move(node));
+  }
+
+  /// Wraps `input` with an exchange that delivers `prop`.
+  /// Returns -1 when the needed exchange rule is disabled.
+  int MakeExchange(int input_phys, const PhysProp& prop, int gid,
+                   BitVector256* rules_used) {
+    const PhysicalNode& child = scratch_.node(input_phys);
+    PhysOpKind kind;
+    int partitions;
+    std::string key;
+    switch (prop.kind) {
+      case PhysProp::Kind::kHash:
+        if (!config_.IsEnabled(rules::kExchangeShuffleImpl)) return -1;
+        kind = PhysOpKind::kExchangeShuffle;
+        partitions = ChoosePartitions(child.est_bytes);
+        key = prop.key;
+        rules_used->Set(rules::kExchangeShuffleImpl);
+        break;
+      case PhysProp::Kind::kBroadcast:
+        if (!config_.IsEnabled(rules::kExchangeBroadcastImpl)) return -1;
+        kind = PhysOpKind::kExchangeBroadcast;
+        partitions = std::max(1, prop.partitions_hint);
+        rules_used->Set(rules::kExchangeBroadcastImpl);
+        break;
+      case PhysProp::Kind::kSingleton:
+        if (!config_.IsEnabled(rules::kExchangeGatherImpl)) return -1;
+        kind = PhysOpKind::kExchangeGather;
+        partitions = 1;
+        rules_used->Set(rules::kExchangeGatherImpl);
+        break;
+      default:
+        return -1;
+    }
+    PhysicalNode node;
+    node.kind = kind;
+    node.children = {input_phys};
+    node.schema = child.schema;
+    node.exchange_key = key;
+    node.est_rows = child.est_rows;
+    node.est_bytes = child.est_bytes;
+    node.true_rows = child.true_rows;
+    node.true_bytes = child.true_bytes;
+    node.partitions = partitions;
+    node.local_cost = cost_model_.LocalCost(node, {child.est_rows},
+                                            {child.est_bytes});
+    (void)gid;
+    return scratch_.AddNode(std::move(node));
+  }
+
+  void AddEnforcer(int gid, const Winner& any, const PhysProp& required,
+                   Winner* best) {
+    if (required.SatisfiedBy(any.delivered)) {
+      ConsiderCandidate(any, best);
+      return;
+    }
+    Winner w = any;
+    int ex = MakeExchange(any.phys, required, gid, &w.rules);
+    if (ex < 0) return;
+    w.phys = ex;
+    w.cost = any.cost + scratch_.node(ex).local_cost;
+    w.delivered = required;
+    if (required.kind == PhysProp::Kind::kHash) {
+      w.delivered.kind = PhysProp::Kind::kHash;
+    }
+    ConsiderCandidate(w, best);
+  }
+
+  void ImplementExpr(int gid, const MExpr& expr, const PhysProp& required,
+                     int depth, Winner* best) {
+    const Group& group = groups_[gid];
+    const double est_rows = group.est.rows;
+    const double tru_rows = group.tru.rows;
+    const Schema& schema = group.schema;
+    switch (expr.kind) {
+      case LogicalOpKind::kScan: {
+        if (!config_.IsEnabled(rules::kScanImpl)) return;
+        if (!required.SatisfiedBy(PhysProp::Random())) return;
+        // Parallelism follows the bytes the scan *reads* (the full table),
+        // not its possibly-filtered output.
+        double table_bytes = est_rows * schema.RowWidthBytes();
+        auto table_stats = catalog_.Lookup(expr.table_path);
+        if (table_stats.ok()) {
+          table_bytes = table_stats.value()->est_bytes();
+        }
+        Winner w;
+        w.feasible = true;
+        int parts = ChoosePartitions(table_bytes);
+        w.phys = MakePhysNode(PhysOpKind::kScan, expr, gid, {}, est_rows,
+                              tru_rows, parts, schema);
+        w.cost = scratch_.node(w.phys).local_cost;
+        w.delivered = PhysProp::Random();
+        w.rules = expr.derivation;
+        w.rules.Set(rules::kScanImpl);
+        if (!expr.predicates.empty()) w.rules.Set(rules::kFilterIntoScan);
+        ConsiderCandidate(w, best);
+        return;
+      }
+      case LogicalOpKind::kFilter:
+      case LogicalOpKind::kProject: {
+        int impl_rule = expr.kind == LogicalOpKind::kFilter
+                            ? rules::kFilterImpl
+                            : rules::kProjectImpl;
+        if (!config_.IsEnabled(impl_rule)) return;
+        // Pass the requirement through to the child (broadcast cannot pass).
+        PhysProp child_req = required;
+        if (required.kind == PhysProp::Kind::kBroadcast) {
+          child_req = PhysProp::Any();
+        }
+        if (expr.kind == LogicalOpKind::kProject &&
+            child_req.kind == PhysProp::Kind::kHash) {
+          // Translate the key through the projection.
+          std::string source;
+          for (const SelectItem& item : expr.projections) {
+            if (item.OutputName() == child_req.key &&
+                item.agg == scope::AggFunc::kNone) {
+              source = item.column;
+            }
+          }
+          if (source.empty()) {
+            child_req = PhysProp::Any();  // fall back to enforcer above
+          } else {
+            child_req.key = source;
+          }
+        }
+        Winner child = OptimizeGroup(expr.children[0], child_req, depth + 1);
+        if (!child.feasible) return;
+        if (!required.SatisfiedBy(child.delivered) &&
+            required.kind != PhysProp::Kind::kAny) {
+          return;  // enforcer path will handle it
+        }
+        PhysOpKind kind = expr.kind == LogicalOpKind::kFilter
+                              ? PhysOpKind::kFilter
+                              : PhysOpKind::kProject;
+        Winner w;
+        w.feasible = true;
+        int parts = scratch_.node(child.phys).partitions;
+        w.phys = MakePhysNode(kind, expr, gid, {child.phys}, est_rows,
+                              tru_rows, parts, schema);
+        w.cost = child.cost + scratch_.node(w.phys).local_cost;
+        w.delivered = child.delivered;
+        w.rules = child.rules | expr.derivation;
+        w.rules.Set(impl_rule);
+        ConsiderCandidate(w, best);
+        return;
+      }
+      case LogicalOpKind::kJoin: {
+        ImplementJoin(gid, expr, required, depth, best);
+        return;
+      }
+      case LogicalOpKind::kAggregate: {
+        ImplementAggregate(gid, expr, required, depth, best);
+        return;
+      }
+      case LogicalOpKind::kUnionAll: {
+        if (!config_.IsEnabled(rules::kUnionAllImpl)) return;
+        if (!required.SatisfiedBy(PhysProp::Random())) return;
+        Winner l = OptimizeGroup(expr.children[0], PhysProp::Any(), depth + 1);
+        Winner r = OptimizeGroup(expr.children[1], PhysProp::Any(), depth + 1);
+        if (!l.feasible || !r.feasible) return;
+        Winner w;
+        w.feasible = true;
+        int parts = scratch_.node(l.phys).partitions +
+                    scratch_.node(r.phys).partitions;
+        parts = std::min(parts, 256);
+        w.phys = MakePhysNode(PhysOpKind::kUnionAll, expr, gid,
+                              {l.phys, r.phys}, est_rows, tru_rows, parts,
+                              schema);
+        w.cost = l.cost + r.cost + scratch_.node(w.phys).local_cost;
+        w.delivered = PhysProp::Random();
+        w.rules = l.rules | r.rules | expr.derivation;
+        w.rules.Set(rules::kUnionAllImpl);
+        ConsiderCandidate(w, best);
+        return;
+      }
+      case LogicalOpKind::kOutput: {
+        if (!config_.IsEnabled(rules::kOutputImpl)) return;
+        Winner child = OptimizeGroup(expr.children[0], PhysProp::Any(),
+                                     depth + 1);
+        if (!child.feasible) return;
+        Winner w;
+        w.feasible = true;
+        int parts = scratch_.node(child.phys).partitions;
+        w.phys = MakePhysNode(PhysOpKind::kOutput, expr, gid, {child.phys},
+                              est_rows, tru_rows, parts, schema);
+        w.cost = child.cost + scratch_.node(w.phys).local_cost;
+        w.delivered = child.delivered;
+        w.rules = child.rules | expr.derivation;
+        w.rules.Set(rules::kOutputImpl);
+        ConsiderCandidate(w, best);
+        return;
+      }
+    }
+  }
+
+  void ImplementJoin(int gid, const MExpr& expr, const PhysProp& required,
+                     int depth, Winner* best) {
+    const Group& group = groups_[gid];
+    const Schema& schema = group.schema;
+    const double est_rows = group.est.rows;
+    const double tru_rows = group.tru.rows;
+
+    // Hash join: shuffle both sides on the join keys.
+    auto shuffled_join = [&](PhysOpKind kind, int impl_rule) {
+      if (!config_.IsEnabled(impl_rule)) return;
+      PhysProp want = PhysProp::Hash(expr.left_key);
+      if (required.kind == PhysProp::Kind::kHash &&
+          !required.SatisfiedBy(want) &&
+          required.kind != PhysProp::Kind::kAny) {
+        // Delivered hash(left_key) might not match; enforcer path covers it.
+      }
+      Winner l = OptimizeGroup(expr.children[0], PhysProp::Hash(expr.left_key),
+                               depth + 1);
+      Winner r = OptimizeGroup(expr.children[1],
+                               PhysProp::Hash(expr.right_key), depth + 1);
+      if (!l.feasible || !r.feasible) return;
+      PhysProp delivered = PhysProp::Hash(expr.left_key);
+      if (!required.SatisfiedBy(delivered)) return;
+      Winner w;
+      w.feasible = true;
+      int parts = std::max(scratch_.node(l.phys).partitions,
+                           scratch_.node(r.phys).partitions);
+      w.phys = MakePhysNode(kind, expr, gid, {l.phys, r.phys}, est_rows,
+                            tru_rows, parts, schema);
+      w.cost = l.cost + r.cost + scratch_.node(w.phys).local_cost;
+      w.delivered = delivered;
+      w.rules = l.rules | r.rules | expr.derivation;
+      w.rules.Set(impl_rule);
+      ConsiderCandidate(w, best);
+    };
+    shuffled_join(PhysOpKind::kHashJoin, rules::kHashJoinImpl);
+    shuffled_join(PhysOpKind::kMergeJoin, rules::kMergeJoinImpl);
+
+    // Broadcast join: replicate the (small) right side.
+    if (config_.IsEnabled(rules::kBroadcastJoinImpl)) {
+      double threshold =
+          config_.IsEnabled(rules::kBroadcastJoinAggressive)
+              ? options_.broadcast_threshold_aggressive_bytes
+              : options_.broadcast_threshold_bytes;
+      const Group& right = groups_[expr.children[1]];
+      double right_bytes = right.est.rows * right.schema.RowWidthBytes();
+      if (right_bytes <= threshold) {
+        Winner l = OptimizeGroup(expr.children[0], PhysProp::Any(), depth + 1);
+        if (l.feasible) {
+          int consumers = scratch_.node(l.phys).partitions;
+          Winner r = OptimizeGroup(expr.children[1],
+                                   PhysProp::Broadcast(consumers), depth + 1);
+          if (r.feasible && required.SatisfiedBy(l.delivered)) {
+            Winner w;
+            w.feasible = true;
+            w.phys = MakePhysNode(PhysOpKind::kBroadcastJoin, expr, gid,
+                                  {l.phys, r.phys}, est_rows, tru_rows,
+                                  consumers, schema);
+            w.cost = l.cost + r.cost + scratch_.node(w.phys).local_cost;
+            w.delivered = l.delivered;
+            w.rules = l.rules | r.rules | expr.derivation;
+            w.rules.Set(rules::kBroadcastJoinImpl);
+            if (config_.IsEnabled(rules::kBroadcastJoinAggressive) &&
+                right_bytes > options_.broadcast_threshold_bytes) {
+              w.rules.Set(rules::kBroadcastJoinAggressive);
+            }
+            ConsiderCandidate(w, best);
+          }
+        }
+      }
+    }
+  }
+
+  void ImplementAggregate(int gid, const MExpr& expr, const PhysProp& required,
+                          int depth, Winner* best) {
+    const Group& group = groups_[gid];
+    const Schema& schema = group.schema;
+    const double est_rows = group.est.rows;
+    const double tru_rows = group.tru.rows;
+
+    if (expr.partial_agg) {
+      // Local pre-aggregation: no data movement, preserves distribution.
+      // Either aggregate implementation can realize the partial phase.
+      bool hash_ok = config_.IsEnabled(rules::kHashAggImpl);
+      bool stream_ok = config_.IsEnabled(rules::kStreamAggImpl);
+      if (!hash_ok && !stream_ok) return;
+      Winner child = OptimizeGroup(expr.children[0], PhysProp::Any(),
+                                   depth + 1);
+      if (!child.feasible) return;
+      if (!required.SatisfiedBy(child.delivered)) return;
+      Winner w;
+      w.feasible = true;
+      int parts = scratch_.node(child.phys).partitions;
+      w.phys = MakePhysNode(PhysOpKind::kPartialHashAgg, expr, gid,
+                            {child.phys}, est_rows, tru_rows, parts, schema);
+      w.cost = child.cost + scratch_.node(w.phys).local_cost;
+      w.delivered = child.delivered;
+      w.rules = child.rules | expr.derivation;
+      w.rules.Set(hash_ok ? rules::kHashAggImpl : rules::kStreamAggImpl);
+      ConsiderCandidate(w, best);
+      return;
+    }
+
+    const bool global = expr.group_by.empty();
+    PhysProp agg_req =
+        global ? PhysProp::Singleton() : PhysProp::Hash(expr.group_by[0]);
+    PhysProp delivered =
+        global ? PhysProp::Singleton() : PhysProp::Hash(expr.group_by[0]);
+
+    // Single-phase hash aggregation: shuffle raw rows to the group keys.
+    if (config_.IsEnabled(rules::kHashAggImpl) &&
+        required.SatisfiedBy(delivered)) {
+      Winner child = OptimizeGroup(expr.children[0], agg_req, depth + 1);
+      if (child.feasible) {
+        Winner w;
+        w.feasible = true;
+        int parts = scratch_.node(child.phys).partitions;
+        w.phys = MakePhysNode(PhysOpKind::kHashAgg, expr, gid, {child.phys},
+                              est_rows, tru_rows, parts, schema);
+        w.cost = child.cost + scratch_.node(w.phys).local_cost;
+        w.delivered = delivered;
+        w.rules = child.rules | expr.derivation;
+        w.rules.Set(rules::kHashAggImpl);
+        ConsiderCandidate(w, best);
+      }
+    }
+
+    // Stream (sort-based) aggregation.
+    if (config_.IsEnabled(rules::kStreamAggImpl) && !global &&
+        required.SatisfiedBy(delivered)) {
+      Winner child = OptimizeGroup(expr.children[0], agg_req, depth + 1);
+      if (child.feasible) {
+        Winner w;
+        w.feasible = true;
+        int parts = scratch_.node(child.phys).partitions;
+        w.phys = MakePhysNode(PhysOpKind::kStreamAgg, expr, gid, {child.phys},
+                              est_rows, tru_rows, parts, schema);
+        w.cost = child.cost + scratch_.node(w.phys).local_cost;
+        w.delivered = delivered;
+        w.rules = child.rules | expr.derivation;
+        w.rules.Set(rules::kStreamAggImpl);
+        ConsiderCandidate(w, best);
+      }
+    }
+
+    // Two-phase aggregation: local partial agg, then shuffle the (smaller)
+    // partial results, then final agg.
+    if (config_.IsEnabled(rules::kTwoPhaseAggregation) &&
+        config_.IsEnabled(rules::kHashAggImpl) &&
+        required.SatisfiedBy(delivered)) {
+      Winner child = OptimizeGroup(expr.children[0], PhysProp::Any(),
+                                   depth + 1);
+      if (!child.feasible) return;
+      int child_parts = scratch_.node(child.phys).partitions;
+      RelStats partial_est = est_.PartialAggregate(
+          groups_[expr.children[0]].est, expr.group_by, child_parts);
+      RelStats partial_tru = tru_.PartialAggregate(
+          groups_[expr.children[0]].tru, expr.group_by, child_parts);
+      BitVector256 rules_used = child.rules | expr.derivation;
+      rules_used.Set(rules::kTwoPhaseAggregation);
+      rules_used.Set(rules::kHashAggImpl);
+      int partial = MakePhysNode(PhysOpKind::kPartialHashAgg, expr, gid,
+                                 {child.phys}, partial_est.rows,
+                                 partial_tru.rows, child_parts, schema);
+      PhysProp move_prop = global ? PhysProp::Singleton()
+                                  : PhysProp::Hash(expr.group_by[0]);
+      int exchange = MakeExchange(partial, move_prop, gid, &rules_used);
+      if (exchange < 0) return;
+      int final_parts = scratch_.node(exchange).partitions;
+      int final_agg = MakePhysNode(PhysOpKind::kHashAgg, expr, gid,
+                                   {exchange}, est_rows, tru_rows, final_parts,
+                                   schema);
+      Winner w;
+      w.feasible = true;
+      w.phys = final_agg;
+      w.cost = child.cost + scratch_.node(partial).local_cost +
+               scratch_.node(exchange).local_cost +
+               scratch_.node(final_agg).local_cost;
+      w.delivered = delivered;
+      w.rules = rules_used;
+      ConsiderCandidate(w, best);
+    }
+  }
+
+  // ----- Winner extraction --------------------------------------------------
+
+  /// Copies the reachable subgraph into `out`, returning the total estimated
+  /// cost of the final plan.
+  double Compact(const std::vector<int>& root_phys, PhysicalPlan* out) {
+    std::unordered_map<int, int> remap;
+    double total = 0.0;
+    std::function<int(int)> copy = [&](int id) -> int {
+      auto it = remap.find(id);
+      if (it != remap.end()) return it->second;
+      PhysicalNode node = scratch_.node(id);
+      std::vector<int> new_children;
+      for (int c : node.children) new_children.push_back(copy(c));
+      node.children = std::move(new_children);
+      total += node.local_cost;
+      int nid = out->AddNode(std::move(node));
+      remap[id] = nid;
+      return nid;
+    };
+    for (int r : root_phys) out->roots.push_back(copy(r));
+    return total;
+  }
+
+  const scope::Catalog& catalog_;
+  OptimizerOptions options_;
+  const RuleConfig& config_;
+  StatsDeriver est_;
+  StatsDeriver tru_;
+  CostModel cost_model_;
+  std::vector<Group> groups_;
+  PhysicalPlan scratch_;
+  std::unordered_map<std::string, Schema> scan_schema_;
+};
+
+}  // namespace
+
+Optimizer::Optimizer(const scope::Catalog& catalog, OptimizerOptions options)
+    : catalog_(catalog), options_(options) {}
+
+Result<CompilationOutput> Optimizer::Optimize(const scope::LogicalPlan& plan,
+                                              const RuleConfig& config) const {
+  MemoOptimizer memo(catalog_, options_, config);
+  memo.RegisterScanSchemas(plan);
+  return memo.Run(plan);
+}
+
+}  // namespace qo::opt

@@ -1,0 +1,66 @@
+// The cascades-style SCOPE query optimizer.
+//
+// Compilation pipeline:
+//   1. validate the rule configuration (required rules must be enabled),
+//   2. normalization: destructive rewrites on the logical DAG (filter
+//      pushdown family, project pruning/merging) gated by their rule bits,
+//   3. memo-based top-down exploration (join commute/associativity, eager
+//      aggregation, join-through-union) and implementation (hash/broadcast/
+//      merge joins, one/two-phase aggregation, exchange enforcers) under a
+//      per-group expression budget,
+//   4. winner extraction into a PhysicalPlan plus the *rule signature* — the
+//      set of rules that directly contributed to the final plan (Sec. 2.1).
+//
+// Like SCOPE's optimizer, the search is deliberately not exhaustive (budgets
+// and guard heuristics), so flipping a single rule can move the result in
+// either direction of estimated cost — the behaviour QO-Advisor steers.
+#ifndef QO_OPTIMIZER_OPTIMIZER_H_
+#define QO_OPTIMIZER_OPTIMIZER_H_
+
+#include "common/status.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/physical_plan.h"
+#include "optimizer/rules.h"
+#include "scope/catalog.h"
+#include "scope/logical_plan.h"
+
+namespace qo::opt {
+
+/// Knobs for the optimizer search.
+struct OptimizerOptions {
+  /// Maximum logical expressions kept per memo group (exploration budget).
+  int max_exprs_per_group = 20;
+  /// Broadcast join is considered when the build side is estimated below
+  /// this many bytes. The default guard is deliberately conservative (as in
+  /// production systems, where a mis-broadcast can take down a stage);
+  /// kBroadcastJoinAggressive raises it, which is profitable on the many
+  /// instances with mid-sized build sides — if the estimates can be trusted.
+  double broadcast_threshold_bytes = 24.0e6;
+  double broadcast_threshold_aggressive_bytes = 2.0e9;
+  CostParams cost_params;
+};
+
+/// Compiles logical plans into distributed physical plans under a given rule
+/// configuration.
+class Optimizer {
+ public:
+  explicit Optimizer(const scope::Catalog& catalog,
+                     OptimizerOptions options = {});
+
+  /// Optimizes `plan`; returns the physical plan, its estimated cost and the
+  /// rule signature. CompileError when the configuration admits no valid
+  /// plan (required rule disabled, or no enabled implementation for some
+  /// operator).
+  Result<CompilationOutput> Optimize(const scope::LogicalPlan& plan,
+                                     const RuleConfig& config) const;
+
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  const scope::Catalog& catalog_;
+  OptimizerOptions options_;
+};
+
+}  // namespace qo::opt
+
+#endif  // QO_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,83 @@
+#include "optimizer/physical_plan.h"
+
+#include <functional>
+
+namespace qo::opt {
+
+const char* PhysOpKindToString(PhysOpKind k) {
+  switch (k) {
+    case PhysOpKind::kScan:
+      return "Scan";
+    case PhysOpKind::kFilter:
+      return "Filter";
+    case PhysOpKind::kProject:
+      return "Project";
+    case PhysOpKind::kHashJoin:
+      return "HashJoin";
+    case PhysOpKind::kBroadcastJoin:
+      return "BroadcastJoin";
+    case PhysOpKind::kMergeJoin:
+      return "MergeJoin";
+    case PhysOpKind::kHashAgg:
+      return "HashAgg";
+    case PhysOpKind::kPartialHashAgg:
+      return "PartialHashAgg";
+    case PhysOpKind::kStreamAgg:
+      return "StreamAgg";
+    case PhysOpKind::kUnionAll:
+      return "UnionAll";
+    case PhysOpKind::kOutput:
+      return "Output";
+    case PhysOpKind::kExchangeShuffle:
+      return "ExchangeShuffle";
+    case PhysOpKind::kExchangeBroadcast:
+      return "ExchangeBroadcast";
+    case PhysOpKind::kExchangeGather:
+      return "ExchangeGather";
+  }
+  return "Unknown";
+}
+
+bool IsExchange(PhysOpKind k) {
+  return k == PhysOpKind::kExchangeShuffle ||
+         k == PhysOpKind::kExchangeBroadcast ||
+         k == PhysOpKind::kExchangeGather;
+}
+
+double PhysicalPlan::TotalEstimatedCost() const {
+  double total = 0.0;
+  for (const auto& n : nodes) total += n.local_cost;
+  return total;
+}
+
+int PhysicalPlan::ExchangeCount() const {
+  int count = 0;
+  for (const auto& n : nodes) {
+    if (IsExchange(n.kind)) ++count;
+  }
+  return count;
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::string out;
+  std::function<void(int, int)> dump = [&](int id, int depth) {
+    const PhysicalNode& n = nodes[id];
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += PhysOpKindToString(n.kind);
+    out += "#" + std::to_string(n.id);
+    if (n.kind == PhysOpKind::kScan) out += " " + n.table_path;
+    if (n.kind == PhysOpKind::kExchangeShuffle) out += " by " + n.exchange_key;
+    if (n.kind == PhysOpKind::kHashJoin || n.kind == PhysOpKind::kMergeJoin ||
+        n.kind == PhysOpKind::kBroadcastJoin) {
+      out += " on " + n.left_key + "==" + n.right_key;
+    }
+    out += " [rows=" + std::to_string(static_cast<long long>(n.est_rows)) +
+           " P=" + std::to_string(n.partitions) + "]";
+    out += "\n";
+    for (int c : n.children) dump(c, depth + 1);
+  };
+  for (int r : roots) dump(r, 0);
+  return out;
+}
+
+}  // namespace qo::opt

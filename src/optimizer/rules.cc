@@ -1,0 +1,180 @@
+#include "optimizer/rules.h"
+
+#include <array>
+
+namespace qo::opt {
+
+const char* RuleCategoryToString(RuleCategory c) {
+  switch (c) {
+    case RuleCategory::kRequired:
+      return "required";
+    case RuleCategory::kOnByDefault:
+      return "on-by-default";
+    case RuleCategory::kOffByDefault:
+      return "off-by-default";
+    case RuleCategory::kImplementation:
+      return "implementation";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct NamedRule {
+  int id;
+  const char* name;
+};
+
+// Behavioral rules wired into the optimizer. Every other id gets a generated
+// placeholder name in its range's category.
+constexpr std::array<NamedRule, 33> kNamedRules = {{
+    {rules::kNormalizeScript, "NormalizeScript"},
+    {rules::kBindReferences, "BindReferences"},
+    {rules::kDerivePlanProperties, "DerivePlanProperties"},
+    {rules::kValidateSchema, "ValidateSchema"},
+    {rules::kFilterPushdownBelowProject, "FilterPushdownBelowProject"},
+    {rules::kFilterPushdownIntoJoinLeft, "FilterPushdownIntoJoinLeft"},
+    {rules::kFilterPushdownIntoJoinRight, "FilterPushdownIntoJoinRight"},
+    {rules::kFilterPushdownBelowUnion, "FilterPushdownBelowUnion"},
+    {rules::kFilterIntoScan, "FilterIntoScan"},
+    {rules::kFilterMerge, "FilterMerge"},
+    {rules::kProjectPruneBelowJoin, "ProjectPruneBelowJoin"},
+    {rules::kProjectPruneBelowAgg, "ProjectPruneBelowAgg"},
+    {rules::kProjectMerge, "ProjectMerge"},
+    {rules::kJoinCommute, "JoinCommute"},
+    {rules::kTwoPhaseAggregation, "TwoPhaseAggregation"},
+    {rules::kEagerAggregationLeft, "EagerAggregationLeft"},
+    {rules::kEagerAggregationRight, "EagerAggregationRight"},
+    {rules::kJoinAssociativity, "JoinAssociativity"},
+    {rules::kPushJoinThroughUnion, "PushJoinThroughUnion"},
+    {rules::kBroadcastJoinAggressive, "BroadcastJoinAggressive"},
+    {rules::kScanImpl, "ScanImpl"},
+    {rules::kFilterImpl, "FilterImpl"},
+    {rules::kProjectImpl, "ProjectImpl"},
+    {rules::kHashJoinImpl, "HashJoinImpl"},
+    {rules::kBroadcastJoinImpl, "BroadcastJoinImpl"},
+    {rules::kMergeJoinImpl, "MergeJoinImpl"},
+    {rules::kHashAggImpl, "HashAggImpl"},
+    {rules::kStreamAggImpl, "StreamAggImpl"},
+    {rules::kUnionAllImpl, "UnionAllImpl"},
+    {rules::kOutputImpl, "OutputImpl"},
+    {rules::kExchangeShuffleImpl, "ExchangeShuffleImpl"},
+    {rules::kExchangeBroadcastImpl, "ExchangeBroadcastImpl"},
+    {rules::kExchangeGatherImpl, "ExchangeGatherImpl"},
+}};
+
+RuleCategory CategoryForId(int id) {
+  // Alternative physical implementations that SCOPE would treat as
+  // experimental: present in the registry's implementation id range but
+  // disabled by default (they only win on sorted/low-cardinality inputs and
+  // are sensitive to estimates).
+  if (id == rules::kMergeJoinImpl || id == rules::kStreamAggImpl) {
+    return RuleCategory::kOffByDefault;
+  }
+  if (id < 40) return RuleCategory::kRequired;
+  if (id < 160) return RuleCategory::kOnByDefault;
+  if (id < 200) return RuleCategory::kOffByDefault;
+  return RuleCategory::kImplementation;
+}
+
+}  // namespace
+
+RuleRegistry::RuleRegistry() {
+  rules_.resize(kNumRules);
+  for (int id = 0; id < kNumRules; ++id) {
+    RuleInfo info;
+    info.id = id;
+    info.category = CategoryForId(id);
+    info.name = std::string(RuleCategoryToString(info.category)) + "_rule_" +
+                std::to_string(id);
+    rules_[id] = std::move(info);
+  }
+  for (const NamedRule& nr : kNamedRules) {
+    rules_[nr.id].name = nr.name;
+  }
+  for (int id = 0; id < kNumRules; ++id) {
+    switch (rules_[id].category) {
+      case RuleCategory::kRequired:
+        required_.push_back(id);
+        required_mask_.Set(id);
+        break;
+      case RuleCategory::kOnByDefault:
+        on_default_.push_back(id);
+        on_default_mask_.Set(id);
+        break;
+      case RuleCategory::kOffByDefault:
+        off_default_.push_back(id);
+        off_default_mask_.Set(id);
+        break;
+      case RuleCategory::kImplementation:
+        implementation_.push_back(id);
+        implementation_mask_.Set(id);
+        break;
+    }
+  }
+}
+
+const RuleRegistry& RuleRegistry::Get() {
+  static const RuleRegistry* kRegistry = new RuleRegistry();
+  return *kRegistry;
+}
+
+const std::vector<int>& RuleRegistry::ByCategory(RuleCategory c) const {
+  switch (c) {
+    case RuleCategory::kRequired:
+      return required_;
+    case RuleCategory::kOnByDefault:
+      return on_default_;
+    case RuleCategory::kOffByDefault:
+      return off_default_;
+    case RuleCategory::kImplementation:
+      return implementation_;
+  }
+  return required_;
+}
+
+const BitVector256& RuleRegistry::CategoryMask(RuleCategory c) const {
+  switch (c) {
+    case RuleCategory::kRequired:
+      return required_mask_;
+    case RuleCategory::kOnByDefault:
+      return on_default_mask_;
+    case RuleCategory::kOffByDefault:
+      return off_default_mask_;
+    case RuleCategory::kImplementation:
+      return implementation_mask_;
+  }
+  return required_mask_;
+}
+
+RuleConfig RuleConfig::Default() {
+  const RuleRegistry& reg = RuleRegistry::Get();
+  BitVector256 bits = reg.CategoryMask(RuleCategory::kRequired) |
+                      reg.CategoryMask(RuleCategory::kOnByDefault) |
+                      reg.CategoryMask(RuleCategory::kImplementation);
+  return RuleConfig(bits);
+}
+
+RuleConfig RuleConfig::DefaultWithFlip(int rule_id) {
+  RuleConfig config = Default();
+  config.Flip(rule_id);
+  return config;
+}
+
+std::vector<int> RuleConfig::DiffFromDefault() const {
+  return (bits_ ^ Default().bits_).Positions();
+}
+
+Status RuleConfig::Validate() const {
+  const BitVector256& required =
+      RuleRegistry::Get().CategoryMask(RuleCategory::kRequired);
+  if (!bits_.Contains(required)) {
+    BitVector256 missing = required.AndNot(bits_);
+    return Status::CompileError(
+        "required rule disabled: " +
+        RuleRegistry::Get().name(missing.Positions().front()));
+  }
+  return Status::OK();
+}
+
+}  // namespace qo::opt

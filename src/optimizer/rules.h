@@ -1,0 +1,153 @@
+// The optimizer rule registry and rule configurations.
+//
+// Mirrors the SCOPE rule machinery the paper steers (Sec. 2.1): 256 rules in
+// four categories — required (must always be enabled), on-by-default,
+// off-by-default, and implementation (logical -> physical mapping). A *rule
+// configuration* is a 256-bit vector of enabled rules; a *rule signature* is
+// the bit vector of rules that directly contributed to the final plan.
+#ifndef QO_OPTIMIZER_RULES_H_
+#define QO_OPTIMIZER_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+
+namespace qo::opt {
+
+/// SCOPE rule categories (paper Sec. 2.1).
+enum class RuleCategory {
+  kRequired,        ///< must always be enabled to get valid plans
+  kOnByDefault,     ///< cost-based / rewrite rules enabled by default
+  kOffByDefault,    ///< experimental or estimate-sensitive rules
+  kImplementation,  ///< map logical operators to physical ones
+};
+
+const char* RuleCategoryToString(RuleCategory c);
+
+/// Stable rule identifiers. The id is the bit position in signatures,
+/// configurations and spans. Ranges:
+///   [0, 40)    required
+///   [40, 160)  on-by-default
+///   [160, 200) off-by-default
+///   [200, 256) implementation
+///
+/// Only a subset of ids corresponds to behavioral rules wired into this
+/// optimizer; the remaining ids are registered placeholders (real optimizers
+/// carry many rules that rarely fire — the paper reports an average job span
+/// of only ~10 out of 256).
+namespace rules {
+
+// --- Required normalization (fire on every job). ---
+inline constexpr int kNormalizeScript = 0;
+inline constexpr int kBindReferences = 1;
+inline constexpr int kDerivePlanProperties = 2;
+inline constexpr int kValidateSchema = 3;
+
+// --- On-by-default rewrites / explorations. ---
+inline constexpr int kFilterPushdownBelowProject = 40;
+inline constexpr int kFilterPushdownIntoJoinLeft = 41;
+inline constexpr int kFilterPushdownIntoJoinRight = 42;
+inline constexpr int kFilterPushdownBelowUnion = 43;
+inline constexpr int kFilterIntoScan = 44;
+inline constexpr int kFilterMerge = 45;
+inline constexpr int kProjectPruneBelowJoin = 46;
+inline constexpr int kProjectPruneBelowAgg = 47;
+inline constexpr int kProjectMerge = 48;
+inline constexpr int kJoinCommute = 49;
+inline constexpr int kTwoPhaseAggregation = 50;
+
+// --- Off-by-default explorations (estimate-sensitive). ---
+inline constexpr int kEagerAggregationLeft = 160;
+inline constexpr int kEagerAggregationRight = 161;
+inline constexpr int kJoinAssociativity = 162;
+inline constexpr int kPushJoinThroughUnion = 163;
+inline constexpr int kBroadcastJoinAggressive = 164;
+
+// --- Implementation rules. ---
+inline constexpr int kScanImpl = 200;
+inline constexpr int kFilterImpl = 201;
+inline constexpr int kProjectImpl = 202;
+inline constexpr int kHashJoinImpl = 203;
+inline constexpr int kBroadcastJoinImpl = 204;
+inline constexpr int kMergeJoinImpl = 205;
+inline constexpr int kHashAggImpl = 206;
+inline constexpr int kStreamAggImpl = 207;
+inline constexpr int kUnionAllImpl = 208;
+inline constexpr int kOutputImpl = 209;
+inline constexpr int kExchangeShuffleImpl = 210;
+inline constexpr int kExchangeBroadcastImpl = 211;
+inline constexpr int kExchangeGatherImpl = 212;
+
+}  // namespace rules
+
+/// Metadata for one registered rule.
+struct RuleInfo {
+  int id = 0;
+  std::string name;
+  RuleCategory category = RuleCategory::kOnByDefault;
+};
+
+/// The global registry of all 256 rules.
+class RuleRegistry {
+ public:
+  /// Returns the process-wide registry (immutable after construction).
+  static const RuleRegistry& Get();
+
+  static constexpr int kNumRules = BitVector256::kBits;
+
+  const RuleInfo& info(int id) const { return rules_[id]; }
+  RuleCategory category(int id) const { return rules_[id].category; }
+  const std::string& name(int id) const { return rules_[id].name; }
+
+  /// All rule ids of the given category.
+  const std::vector<int>& ByCategory(RuleCategory c) const;
+
+  /// Bit mask of rules in the given category.
+  const BitVector256& CategoryMask(RuleCategory c) const;
+
+ private:
+  RuleRegistry();
+  std::vector<RuleInfo> rules_;
+  std::vector<int> required_, on_default_, off_default_, implementation_;
+  BitVector256 required_mask_, on_default_mask_, off_default_mask_,
+      implementation_mask_;
+};
+
+/// An optimizer rule configuration: the set of enabled rules for one
+/// compilation. QO-Advisor only ever produces configurations at edit
+/// distance 1 from the default (paper Sec. 2.4, "single rule flip").
+class RuleConfig {
+ public:
+  /// The default SCOPE configuration: required + on-by-default +
+  /// implementation enabled, off-by-default disabled.
+  static RuleConfig Default();
+
+  /// Default configuration with one rule flipped. `rule_id` in [0, 256).
+  static RuleConfig DefaultWithFlip(int rule_id);
+
+  bool IsEnabled(int rule_id) const { return bits_.Test(rule_id); }
+  void Enable(int rule_id) { bits_.Set(rule_id); }
+  void Disable(int rule_id) { bits_.Clear(rule_id); }
+  void Flip(int rule_id) { bits_.Flip(rule_id); }
+
+  const BitVector256& bits() const { return bits_; }
+
+  /// Rules where this config differs from the default.
+  std::vector<int> DiffFromDefault() const;
+
+  /// Error if any required rule is disabled (such configurations can never
+  /// produce valid plans; the optimizer rejects them upfront).
+  Status Validate() const;
+
+  bool operator==(const RuleConfig& o) const { return bits_ == o.bits_; }
+
+ private:
+  explicit RuleConfig(BitVector256 bits) : bits_(bits) {}
+  BitVector256 bits_;
+};
+
+}  // namespace qo::opt
+
+#endif  // QO_OPTIMIZER_RULES_H_

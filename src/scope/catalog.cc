@@ -1,0 +1,26 @@
+#include "scope/catalog.h"
+
+namespace qo::scope {
+
+void Catalog::RegisterTable(const std::string& path, TableStats stats) {
+  tables_[path] = std::move(stats);
+}
+
+Result<const TableStats*> Catalog::Lookup(const std::string& path) const {
+  auto it = tables_.find(path);
+  if (it == tables_.end()) {
+    return Status::NotFound("table not in catalog: " + path);
+  }
+  return &it->second;
+}
+
+ColumnStats Catalog::LookupColumn(const std::string& path,
+                                  const std::string& column) const {
+  auto it = tables_.find(path);
+  if (it == tables_.end()) return ColumnStats{};
+  auto cit = it->second.columns.find(column);
+  if (cit == it->second.columns.end()) return ColumnStats{};
+  return cit->second;
+}
+
+}  // namespace qo::scope

@@ -1,0 +1,63 @@
+// Catalog of input tables with both ground-truth and optimizer-visible
+// statistics.
+//
+// The split is the heart of the reproduction: the paper's central finding
+// (Sec. 5.2) is that optimizer estimated costs do not predict runtime
+// outcomes. We model that by giving the optimizer access only to
+// `OptimizerStats` (stale / biased), while the execution simulator consumes
+// the ground-truth fields.
+#ifndef QO_SCOPE_CATALOG_H_
+#define QO_SCOPE_CATALOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qo::scope {
+
+/// Per-column statistics. `ndv` is the number of distinct values.
+struct ColumnStats {
+  double true_ndv = 1000.0;
+  double est_ndv = 1000.0;  ///< what the optimizer believes
+};
+
+/// Statistics for one input table.
+struct TableStats {
+  double true_rows = 1e6;
+  double est_rows = 1e6;  ///< optimizer-visible row count (may be stale)
+  double avg_row_bytes = 100.0;
+  std::unordered_map<std::string, ColumnStats> columns;
+
+  double true_bytes() const { return true_rows * avg_row_bytes; }
+  double est_bytes() const { return est_rows * avg_row_bytes; }
+};
+
+/// Maps input paths (the FROM "...") strings in EXTRACT statements) to their
+/// statistics.
+class Catalog {
+ public:
+  /// Registers stats for a path, replacing any previous entry.
+  void RegisterTable(const std::string& path, TableStats stats);
+
+  /// Looks up stats; NotFound if the path was never registered.
+  Result<const TableStats*> Lookup(const std::string& path) const;
+
+  bool Has(const std::string& path) const {
+    return tables_.count(path) > 0;
+  }
+  size_t size() const { return tables_.size(); }
+
+  /// Column stats for `path`.`column`; falls back to a default-constructed
+  /// ColumnStats when the column was never described.
+  ColumnStats LookupColumn(const std::string& path,
+                           const std::string& column) const;
+
+ private:
+  std::unordered_map<std::string, TableStats> tables_;
+};
+
+}  // namespace qo::scope
+
+#endif  // QO_SCOPE_CATALOG_H_

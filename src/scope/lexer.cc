@@ -1,0 +1,119 @@
+#include "scope/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace qo::scope {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "EXTRACT", "FROM",  "SELECT", "WHERE", "GROUP", "BY",  "JOIN",
+      "ON",      "OUTPUT", "TO",    "AS",    "UNION", "ALL", "AND",
+  };
+  return *kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments: -- to end of line.
+    if (c == '-' && i + 1 < n && source[i + 1] == '-') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      std::string word = source.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      Token t;
+      if (Keywords().count(upper) > 0) {
+        t.kind = TokenKind::kKeyword;
+        t.text = upper;
+      } else {
+        t.kind = TokenKind::kIdentifier;
+        t.text = word;
+      }
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                       (source[i] == '.' && !seen_dot))) {
+        if (source[i] == '.') seen_dot = true;
+        ++i;
+      }
+      tokens.push_back({TokenKind::kNumber, source.substr(start, i - start),
+                        line});
+      continue;
+    }
+    if (c == '"') {
+      size_t start = ++i;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\n') {
+          return Status::ParseError("unterminated string literal at line " +
+                                    std::to_string(line));
+        }
+        ++i;
+      }
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(line));
+      }
+      tokens.push_back({TokenKind::kString, source.substr(start, i - start),
+                        line});
+      ++i;  // closing quote
+      continue;
+    }
+    // Multi-char symbols first.
+    auto two = (i + 1 < n) ? source.substr(i, 2) : std::string();
+    if (two == "==" || two == "!=" || two == "<=" || two == ">=") {
+      tokens.push_back({TokenKind::kSymbol, two, line});
+      i += 2;
+      continue;
+    }
+    if (c == '=' || c == '<' || c == '>' || c == ',' || c == ';' ||
+        c == '(' || c == ')' || c == ':' || c == '*' || c == '@') {
+      tokens.push_back({TokenKind::kSymbol, std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at line " + std::to_string(line));
+  }
+  tokens.push_back({TokenKind::kEnd, "", line});
+  return tokens;
+}
+
+}  // namespace qo::scope

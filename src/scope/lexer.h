@@ -1,0 +1,40 @@
+// Tokenizer for the SCOPE-like scripting language.
+#ifndef QO_SCOPE_LEXER_H_
+#define QO_SCOPE_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qo::scope {
+
+enum class TokenKind {
+  kIdentifier,
+  kKeyword,
+  kNumber,
+  kString,   ///< double-quoted literal, value stored without quotes
+  kSymbol,   ///< one of = == != < <= > >= , ; ( ) : * @
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 1;
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return kind == TokenKind::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes `source`. Keywords are case-insensitive and normalized to upper
+/// case; identifiers keep their original case. `--` starts a line comment.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace qo::scope
+
+#endif  // QO_SCOPE_LEXER_H_

@@ -1,0 +1,29 @@
+// Recursive-descent parser for the SCOPE-like scripting language.
+#ifndef QO_SCOPE_PARSER_H_
+#define QO_SCOPE_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "scope/ast.h"
+
+namespace qo::scope {
+
+/// Parses a script source into an AST.
+///
+/// Supported statements:
+///   rs = EXTRACT a:int, b:string FROM "wasb://input";
+///   rs2 = SELECT a, SUM(b) AS total FROM rs
+///         JOIN dim ON a == dim_key
+///         WHERE a > 10 @ 0.3 AND b == "x"
+///         GROUP BY a;
+///   u = rs UNION ALL rs2;
+///   OUTPUT rs2 TO "wasb://out";
+///
+/// The optional `@ <number>` after a predicate records its ground-truth
+/// selectivity for the execution simulator (the optimizer never reads it).
+Result<Script> ParseScript(const std::string& source);
+
+}  // namespace qo::scope
+
+#endif  // QO_SCOPE_PARSER_H_

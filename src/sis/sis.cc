@@ -1,0 +1,122 @@
+#include "sis/sis.h"
+
+#include <set>
+#include <sstream>
+
+namespace qo::sis {
+
+opt::RuleConfig HintEntry::ToConfig() const {
+  opt::RuleConfig config = opt::RuleConfig::Default();
+  if (enable) {
+    config.Enable(rule_id);
+  } else {
+    config.Disable(rule_id);
+  }
+  return config;
+}
+
+std::string HintFile::Serialize() const {
+  std::string out = "# qo-advisor hints day=" + std::to_string(day) + "\n";
+  for (const HintEntry& e : entries) {
+    out += e.template_name + "," + std::to_string(e.rule_id) + "," +
+           (e.enable ? "on" : "off") + "\n";
+  }
+  return out;
+}
+
+Result<HintFile> HintFile::Parse(const std::string& text) {
+  HintFile file;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      auto pos = line.find("day=");
+      if (pos != std::string::npos) {
+        file.day = std::atoi(line.c_str() + pos + 4);
+      }
+      saw_header = true;
+      continue;
+    }
+    auto c1 = line.find(',');
+    auto c2 = line.rfind(',');
+    if (c1 == std::string::npos || c2 == c1) {
+      return Status::ParseError("malformed hint row: " + line);
+    }
+    HintEntry e;
+    e.template_name = line.substr(0, c1);
+    e.rule_id = std::atoi(line.substr(c1 + 1, c2 - c1 - 1).c_str());
+    std::string dir = line.substr(c2 + 1);
+    if (dir == "on") {
+      e.enable = true;
+    } else if (dir == "off") {
+      e.enable = false;
+    } else {
+      return Status::ParseError("bad flip direction: " + dir);
+    }
+    file.entries.push_back(std::move(e));
+  }
+  if (!saw_header) return Status::ParseError("missing hint file header");
+  return file;
+}
+
+Result<int> StatsInsightService::UploadHintFile(const HintFile& file) {
+  // Format validation before installation.
+  std::set<std::string> seen;
+  const opt::RuleConfig default_config = opt::RuleConfig::Default();
+  for (const HintEntry& e : file.entries) {
+    if (e.template_name.empty()) {
+      return Status::InvalidArgument("hint with empty template name");
+    }
+    if (e.rule_id < 0 || e.rule_id >= opt::RuleRegistry::kNumRules) {
+      return Status::InvalidArgument("unknown rule id " +
+                                     std::to_string(e.rule_id));
+    }
+    if (opt::RuleRegistry::Get().category(e.rule_id) ==
+        opt::RuleCategory::kRequired) {
+      return Status::InvalidArgument("hint flips required rule " +
+                                     opt::RuleRegistry::Get().name(e.rule_id));
+    }
+    if (default_config.IsEnabled(e.rule_id) == e.enable) {
+      return Status::InvalidArgument(
+          "no-op hint (matches default) for rule " +
+          opt::RuleRegistry::Get().name(e.rule_id));
+    }
+    if (!seen.insert(e.template_name).second) {
+      return Status::InvalidArgument("duplicate template in hint file: " +
+                                     e.template_name);
+    }
+  }
+  ++version_;
+  history_.push_back(file);
+  for (const HintEntry& e : file.entries) {
+    active_[e.template_name] = e;
+  }
+  return version_;
+}
+
+std::optional<HintEntry> StatsInsightService::LookupHint(
+    const std::string& template_name) const {
+  auto it = active_.find(template_name);
+  if (it == active_.end()) return std::nullopt;
+  return it->second;
+}
+
+opt::RuleConfig StatsInsightService::ConfigForTemplate(
+    const std::string& template_name) const {
+  auto hint = LookupHint(template_name);
+  if (!hint.has_value()) return opt::RuleConfig::Default();
+  return hint->ToConfig();
+}
+
+Status StatsInsightService::RevertHint(const std::string& template_name) {
+  auto it = active_.find(template_name);
+  if (it == active_.end()) {
+    return Status::NotFound("no active hint for " + template_name);
+  }
+  active_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace qo::sis

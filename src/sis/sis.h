@@ -1,0 +1,73 @@
+// The Stats & Insight Service (SIS): versioned hint files mapping job
+// templates to rule-flip hints, consumed by the SCOPE optimizer at compile
+// time (paper Secs. 2.5 and 4.4; [16]).
+//
+// SIS "makes deploying models and configurations in SCOPE easier as it
+// manages versioning and validates the format before installing them".
+#ifndef QO_SIS_SIS_H_
+#define QO_SIS_SIS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/rules.h"
+
+namespace qo::sis {
+
+/// One hint row: flip `rule_id` (to `enable`) for every future occurrence of
+/// the job template.
+struct HintEntry {
+  std::string template_name;
+  int rule_id = 0;
+  bool enable = true;  ///< true = turn the rule on, false = turn it off
+
+  /// The single-flip configuration this hint induces.
+  opt::RuleConfig ToConfig() const;
+};
+
+/// A hint file produced by one pipeline run.
+struct HintFile {
+  int day = 0;  ///< pipeline date the hints were generated from
+  std::vector<HintEntry> entries;
+
+  /// Text format: one "template,rule_id,on|off" row per line, with a header.
+  std::string Serialize() const;
+  static Result<HintFile> Parse(const std::string& text);
+};
+
+/// The service: stores versioned hint files and serves the effective hint
+/// for a template (the newest version wins).
+class StatsInsightService {
+ public:
+  /// Validates and installs a hint file as the next version.
+  /// InvalidArgument for malformed entries (unknown rule id, duplicate
+  /// template, flip that matches the default — i.e. a no-op hint).
+  Result<int> UploadHintFile(const HintFile& file);
+
+  /// The hint currently in effect for the template, if any.
+  std::optional<HintEntry> LookupHint(const std::string& template_name) const;
+
+  /// The compile configuration the optimizer should use for this template:
+  /// default, or default+flip when a hint is installed.
+  opt::RuleConfig ConfigForTemplate(const std::string& template_name) const;
+
+  /// Removes the hint for one template (the paper's "easily reversible"
+  /// property of single rule flips, Sec. 2.4).
+  Status RevertHint(const std::string& template_name);
+
+  int current_version() const { return version_; }
+  size_t active_hints() const { return active_.size(); }
+  const std::vector<HintFile>& history() const { return history_; }
+
+ private:
+  int version_ = 0;
+  std::vector<HintFile> history_;
+  std::map<std::string, HintEntry> active_;
+};
+
+}  // namespace qo::sis
+
+#endif  // QO_SIS_SIS_H_

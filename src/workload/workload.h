@@ -1,0 +1,45 @@
+// Daily workload driver: draws job submissions (recurring template
+// occurrences + one-off jobs) for each simulated day.
+#ifndef QO_WORKLOAD_WORKLOAD_H_
+#define QO_WORKLOAD_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/template_gen.h"
+
+namespace qo::workload {
+
+struct WorkloadConfig {
+  int num_templates = 80;
+  int jobs_per_day = 150;
+  /// Fraction of daily submissions drawn from recurring templates (the paper
+  /// reports >60% of SCOPE jobs are recurring).
+  double recurring_fraction = 0.65;
+  /// Zipf skew of template popularity (0 = uniform).
+  double template_skew = 0.5;
+  uint64_t seed = 20211101;  ///< the month QO-Advisor shipped
+};
+
+/// Deterministic workload: the same (config, day) always produces the same
+/// job instances, which is what lets A/A and week-over-week experiments
+/// isolate cluster variance from workload drift.
+class WorkloadDriver {
+ public:
+  explicit WorkloadDriver(WorkloadConfig config = {});
+
+  const WorkloadConfig& config() const { return config_; }
+  const std::vector<JobTemplate>& templates() const { return templates_; }
+
+  /// All submissions for `day` (0-based). Recurring occurrences carry their
+  /// template id; one-off jobs get synthetic single-use templates.
+  std::vector<JobInstance> DayJobs(int day) const;
+
+ private:
+  WorkloadConfig config_;
+  std::vector<JobTemplate> templates_;
+};
+
+}  // namespace qo::workload
+
+#endif  // QO_WORKLOAD_WORKLOAD_H_

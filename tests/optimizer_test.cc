@@ -1,0 +1,398 @@
+// Optimizer tests: rule registry invariants, configurations, cardinality
+// derivation, cost model, plan shapes, signatures, and a property sweep over
+// all 256 single-rule flips.
+#include <gtest/gtest.h>
+
+#include "optimizer/cardinality.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/rules.h"
+#include "scope/compiler.h"
+
+namespace qo::opt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule registry and configurations.
+// ---------------------------------------------------------------------------
+
+TEST(RuleRegistryTest, Has256RulesInFourCategories) {
+  const auto& reg = RuleRegistry::Get();
+  size_t total = 0;
+  for (auto cat :
+       {RuleCategory::kRequired, RuleCategory::kOnByDefault,
+        RuleCategory::kOffByDefault, RuleCategory::kImplementation}) {
+    total += reg.ByCategory(cat).size();
+    EXPECT_EQ(reg.ByCategory(cat).size(),
+              static_cast<size_t>(reg.CategoryMask(cat).Count()));
+  }
+  EXPECT_EQ(total, 256u);
+}
+
+TEST(RuleRegistryTest, CategoryMasksArePartition) {
+  const auto& reg = RuleRegistry::Get();
+  BitVector256 all = reg.CategoryMask(RuleCategory::kRequired) |
+                     reg.CategoryMask(RuleCategory::kOnByDefault) |
+                     reg.CategoryMask(RuleCategory::kOffByDefault) |
+                     reg.CategoryMask(RuleCategory::kImplementation);
+  EXPECT_EQ(all.Count(), 256);
+  EXPECT_TRUE((reg.CategoryMask(RuleCategory::kRequired) &
+               reg.CategoryMask(RuleCategory::kOnByDefault))
+                  .None());
+}
+
+TEST(RuleRegistryTest, BehavioralRulesHaveNames) {
+  const auto& reg = RuleRegistry::Get();
+  EXPECT_EQ(reg.name(rules::kJoinCommute), "JoinCommute");
+  EXPECT_EQ(reg.name(rules::kEagerAggregationLeft), "EagerAggregationLeft");
+  EXPECT_EQ(reg.name(rules::kHashJoinImpl), "HashJoinImpl");
+  EXPECT_EQ(reg.category(rules::kEagerAggregationLeft),
+            RuleCategory::kOffByDefault);
+  // Merge join / stream agg are off-by-default alternative implementations.
+  EXPECT_EQ(reg.category(rules::kMergeJoinImpl), RuleCategory::kOffByDefault);
+  EXPECT_EQ(reg.category(rules::kStreamAggImpl), RuleCategory::kOffByDefault);
+}
+
+TEST(RuleConfigTest, DefaultEnablesExpectedCategories) {
+  RuleConfig config = RuleConfig::Default();
+  EXPECT_TRUE(config.IsEnabled(rules::kNormalizeScript));
+  EXPECT_TRUE(config.IsEnabled(rules::kFilterPushdownIntoJoinLeft));
+  EXPECT_TRUE(config.IsEnabled(rules::kHashJoinImpl));
+  EXPECT_FALSE(config.IsEnabled(rules::kEagerAggregationLeft));
+  EXPECT_FALSE(config.IsEnabled(rules::kBroadcastJoinAggressive));
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_TRUE(config.DiffFromDefault().empty());
+}
+
+TEST(RuleConfigTest, SingleFlipDiff) {
+  RuleConfig config = RuleConfig::DefaultWithFlip(rules::kJoinAssociativity);
+  EXPECT_TRUE(config.IsEnabled(rules::kJoinAssociativity));
+  EXPECT_EQ(config.DiffFromDefault(),
+            std::vector<int>{rules::kJoinAssociativity});
+  config.Flip(rules::kJoinAssociativity);
+  EXPECT_EQ(config, RuleConfig::Default());
+}
+
+TEST(RuleConfigTest, ValidateRejectsDisabledRequiredRule) {
+  RuleConfig config = RuleConfig::DefaultWithFlip(rules::kBindReferences);
+  auto status = config.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsCompileError());
+  EXPECT_NE(status.message().find("BindReferences"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality derivation.
+// ---------------------------------------------------------------------------
+
+scope::Catalog CardCatalog() {
+  scope::Catalog catalog;
+  scope::TableStats t;
+  t.true_rows = 10000;
+  t.est_rows = 5000;  // optimizer sees a stale estimate
+  t.avg_row_bytes = 50;
+  t.columns["k"] = {100, 80};
+  t.columns["v"] = {1000, 900};
+  catalog.RegisterTable("t", t);
+  return catalog;
+}
+
+scope::Schema CardSchema() {
+  scope::Schema s;
+  s.columns = {{"k", scope::ColumnType::kLong},
+               {"v", scope::ColumnType::kDouble}};
+  return s;
+}
+
+TEST(CardinalityTest, ScanUsesModeSpecificRows) {
+  scope::Catalog catalog = CardCatalog();
+  StatsDeriver est(catalog, StatsMode::kEstimated);
+  StatsDeriver tru(catalog, StatsMode::kTrue);
+  EXPECT_DOUBLE_EQ(est.Scan("t", CardSchema()).rows, 5000);
+  EXPECT_DOUBLE_EQ(tru.Scan("t", CardSchema()).rows, 10000);
+  EXPECT_DOUBLE_EQ(est.Scan("t", CardSchema()).NdvOf("k"), 80);
+  EXPECT_DOUBLE_EQ(tru.Scan("t", CardSchema()).NdvOf("k"), 100);
+}
+
+TEST(CardinalityTest, FilterTrueModeUsesAnnotation) {
+  scope::Catalog catalog = CardCatalog();
+  StatsDeriver est(catalog, StatsMode::kEstimated);
+  StatsDeriver tru(catalog, StatsMode::kTrue);
+  RelStats in_est = est.Scan("t", CardSchema());
+  RelStats in_tru = tru.Scan("t", CardSchema());
+  scope::Predicate pred;
+  pred.column = "k";
+  pred.op = scope::CompareOp::kEq;
+  pred.literal = "5";
+  pred.true_selectivity = 0.5;
+  // Estimated: 1/ndv_est(k) = 1/80. True: the annotation.
+  EXPECT_NEAR(est.Filter(in_est, {pred}).rows, 5000.0 / 80.0, 1e-9);
+  EXPECT_NEAR(tru.Filter(in_tru, {pred}).rows, 5000.0, 1e-9);
+}
+
+TEST(CardinalityTest, FilterHeuristicsByOperator) {
+  scope::Catalog catalog = CardCatalog();
+  StatsDeriver est(catalog, StatsMode::kEstimated);
+  RelStats in = est.Scan("t", CardSchema());
+  auto sel_of = [&](scope::CompareOp op) {
+    scope::Predicate p;
+    p.column = "k";
+    p.op = op;
+    p.literal = "1";
+    return est.PredicateSelectivity(p, in);
+  };
+  EXPECT_NEAR(sel_of(scope::CompareOp::kEq), 1.0 / 80, 1e-12);
+  EXPECT_NEAR(sel_of(scope::CompareOp::kNe), 1.0 - 1.0 / 80, 1e-12);
+  EXPECT_NEAR(sel_of(scope::CompareOp::kLt), 1.0 / 3.0, 1e-12);
+}
+
+TEST(CardinalityTest, JoinEstimateVsTrueFanout) {
+  scope::Catalog catalog = CardCatalog();
+  StatsDeriver est(catalog, StatsMode::kEstimated);
+  StatsDeriver tru(catalog, StatsMode::kTrue);
+  RelStats l_est = est.Scan("t", CardSchema());
+  RelStats l_tru = tru.Scan("t", CardSchema());
+  // est: |L||R| / max(ndv). true: L * fanout.
+  RelStats j_est = est.Join(l_est, l_est, "k", "k", 2.0);
+  RelStats j_tru = tru.Join(l_tru, l_tru, "k", "k", 2.0);
+  EXPECT_NEAR(j_est.rows, 5000.0 * 5000.0 / 80.0, 1e-6);
+  EXPECT_NEAR(j_tru.rows, 10000.0 * 2.0, 1e-6);
+}
+
+TEST(CardinalityTest, AggregateGroupsCappedByRows) {
+  scope::Catalog catalog = CardCatalog();
+  StatsDeriver est(catalog, StatsMode::kEstimated);
+  RelStats in = est.Scan("t", CardSchema());
+  RelStats agg = est.Aggregate(in, {"k"}, {});
+  EXPECT_NEAR(agg.rows, 80.0, 1e-9);  // ndv(k)
+  RelStats global = est.Aggregate(in, {}, {});
+  EXPECT_DOUBLE_EQ(global.rows, 1.0);
+}
+
+TEST(CardinalityTest, PartialAggregateBoundedByGroupsTimesPartitions) {
+  scope::Catalog catalog = CardCatalog();
+  StatsDeriver est(catalog, StatsMode::kEstimated);
+  RelStats in = est.Scan("t", CardSchema());
+  RelStats partial = est.PartialAggregate(in, {"k"}, 10);
+  EXPECT_NEAR(partial.rows, 800.0, 1e-9);  // 80 groups x 10 partitions
+  RelStats one_part = est.PartialAggregate(in, {"k"}, 1);
+  EXPECT_NEAR(one_part.rows, 80.0, 1e-9);
+}
+
+TEST(CardinalityTest, UnionAddsRows) {
+  scope::Catalog catalog = CardCatalog();
+  StatsDeriver est(catalog, StatsMode::kEstimated);
+  RelStats in = est.Scan("t", CardSchema());
+  EXPECT_DOUBLE_EQ(est.UnionAll(in, in).rows, 10000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cost model.
+// ---------------------------------------------------------------------------
+
+TEST(CostModelTest, ChoosePartitionsClampsAndScales) {
+  EXPECT_EQ(ChoosePartitions(0), 1);
+  EXPECT_EQ(ChoosePartitions(256.0e6), 1);
+  EXPECT_EQ(ChoosePartitions(257.0e6), 2);
+  EXPECT_EQ(ChoosePartitions(1.0e15), 500);
+}
+
+TEST(CostModelTest, BroadcastCostGrowsWithConsumers) {
+  CostModel model;
+  PhysicalNode node;
+  node.kind = PhysOpKind::kExchangeBroadcast;
+  node.est_rows = 1000;
+  node.est_bytes = 1.0e6;
+  node.partitions = 10;
+  double c10 = model.LocalCost(node, {1000}, {1.0e6});
+  node.partitions = 100;
+  double c100 = model.LocalCost(node, {1000}, {1.0e6});
+  EXPECT_GT(c100, c10 * 5);
+}
+
+TEST(CostModelTest, MergeJoinIncludesSortCost) {
+  CostModel model;
+  PhysicalNode hash, merge;
+  hash.kind = PhysOpKind::kHashJoin;
+  merge.kind = PhysOpKind::kMergeJoin;
+  hash.partitions = merge.partitions = 4;
+  std::vector<double> rows = {1.0e7, 1.0e7};
+  std::vector<double> bytes = {1.0e9, 1.0e9};
+  EXPECT_GT(model.LocalCost(merge, rows, bytes),
+            model.LocalCost(hash, rows, bytes));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end optimization properties.
+// ---------------------------------------------------------------------------
+
+scope::Catalog PlanCatalog() {
+  scope::Catalog catalog;
+  scope::TableStats fact;
+  fact.true_rows = 5e7;
+  fact.est_rows = 6e7;
+  fact.avg_row_bytes = 80;
+  fact.columns["k"] = {2e5, 1.5e5};
+  fact.columns["grp"] = {50, 45};
+  fact.columns["v"] = {1e6, 1e6};
+  catalog.RegisterTable("fact", fact);
+  scope::TableStats dim;
+  dim.true_rows = 2e6;
+  dim.est_rows = 2.2e6;
+  dim.avg_row_bytes = 40;
+  dim.columns["pk"] = {2e6, 2.2e6};
+  dim.columns["attr"] = {300, 280};
+  catalog.RegisterTable("dim", dim);
+  return catalog;
+}
+
+const char* kPlanScript = R"(
+  f = EXTRACT k:long, grp:string, v:double FROM "fact";
+  d = EXTRACT pk:long, attr:string FROM "dim";
+  fd = SELECT * FROM f JOIN d ON k == pk @ 1.0 WHERE grp == "g" @ 0.02;
+  agg = SELECT attr, SUM(v) AS total FROM fd GROUP BY attr;
+  OUTPUT agg TO "out";
+)";
+
+TEST(OptimizerPlanTest, DefaultPlanIsWellFormed) {
+  scope::Catalog catalog = PlanCatalog();
+  auto logical = scope::CompileSource(kPlanScript, catalog);
+  ASSERT_TRUE(logical.ok()) << logical.status();
+  Optimizer optimizer(catalog);
+  auto out = optimizer.Optimize(*logical, RuleConfig::Default());
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_GT(out->est_cost, 0);
+  // Root must be the Output operator; all children ids must be valid.
+  ASSERT_EQ(out->plan.roots.size(), 1u);
+  EXPECT_EQ(out->plan.node(out->plan.roots[0]).kind, PhysOpKind::kOutput);
+  for (const auto& node : out->plan.nodes) {
+    for (int c : node.children) {
+      ASSERT_GE(c, 0);
+      ASSERT_LT(c, static_cast<int>(out->plan.size()));
+    }
+    EXPECT_GE(node.partitions, 1);
+    EXPECT_GE(node.est_rows, 0);
+    EXPECT_GE(node.true_rows, 0);
+  }
+  // Filter was pushed into the scan by normalization.
+  bool scan_with_pred = false;
+  for (const auto& node : out->plan.nodes) {
+    if (node.kind == PhysOpKind::kScan && !node.predicates.empty()) {
+      scan_with_pred = true;
+    }
+  }
+  EXPECT_TRUE(scan_with_pred) << out->plan.ToString();
+}
+
+TEST(OptimizerPlanTest, SignatureContainsUsedImplementations) {
+  scope::Catalog catalog = PlanCatalog();
+  auto logical = scope::CompileSource(kPlanScript, catalog);
+  ASSERT_TRUE(logical.ok());
+  Optimizer optimizer(catalog);
+  auto out = optimizer.Optimize(*logical, RuleConfig::Default());
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->signature.Test(rules::kScanImpl));
+  EXPECT_TRUE(out->signature.Test(rules::kOutputImpl));
+  EXPECT_TRUE(out->signature.Test(rules::kHashAggImpl));
+  // Join implemented somehow.
+  EXPECT_TRUE(out->signature.Test(rules::kHashJoinImpl) ||
+              out->signature.Test(rules::kBroadcastJoinImpl) ||
+              out->signature.Test(rules::kMergeJoinImpl));
+  // Required normalization rules always present.
+  EXPECT_TRUE(out->signature.Test(rules::kNormalizeScript));
+  // Disabled rules can never appear in the signature.
+  EXPECT_FALSE(out->signature.Test(rules::kEagerAggregationLeft));
+}
+
+TEST(OptimizerPlanTest, DisablingFilterPushdownKeepsFilterAboveScan) {
+  scope::Catalog catalog = PlanCatalog();
+  auto logical = scope::CompileSource(kPlanScript, catalog);
+  ASSERT_TRUE(logical.ok());
+  Optimizer optimizer(catalog);
+  auto config = RuleConfig::Default();
+  config.Disable(rules::kFilterIntoScan);
+  auto out = optimizer.Optimize(*logical, config);
+  ASSERT_TRUE(out.ok());
+  for (const auto& node : out->plan.nodes) {
+    if (node.kind == PhysOpKind::kScan) EXPECT_TRUE(node.predicates.empty());
+  }
+  EXPECT_FALSE(out->signature.Test(rules::kFilterIntoScan));
+}
+
+TEST(OptimizerPlanTest, EnablingOffByDefaultRuleNeverRaisesEstCost) {
+  // Adding alternatives to the search space can only help the estimate.
+  scope::Catalog catalog = PlanCatalog();
+  auto logical = scope::CompileSource(kPlanScript, catalog);
+  ASSERT_TRUE(logical.ok());
+  Optimizer optimizer(catalog);
+  auto base = optimizer.Optimize(*logical, RuleConfig::Default());
+  ASSERT_TRUE(base.ok());
+  for (int rule :
+       RuleRegistry::Get().ByCategory(RuleCategory::kOffByDefault)) {
+    auto flipped =
+        optimizer.Optimize(*logical, RuleConfig::DefaultWithFlip(rule));
+    ASSERT_TRUE(flipped.ok()) << RuleRegistry::Get().name(rule);
+    EXPECT_LE(flipped->est_cost, base->est_cost * (1.0 + 1e-9))
+        << RuleRegistry::Get().name(rule);
+  }
+}
+
+// Property sweep: flipping each of the 256 rules either produces a valid
+// plan (positive cost, valid roots) or a clean CompileError — never a crash
+// or a malformed result.
+class AllFlipsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllFlipsTest, FlipIsSafe) {
+  static const scope::Catalog catalog = PlanCatalog();
+  static const auto logical = scope::CompileSource(kPlanScript, catalog);
+  ASSERT_TRUE(logical.ok());
+  Optimizer optimizer(catalog);
+  int rule = GetParam();
+  auto out = optimizer.Optimize(*logical,
+                                RuleConfig::DefaultWithFlip(rule));
+  if (RuleRegistry::Get().category(rule) == RuleCategory::kRequired) {
+    EXPECT_FALSE(out.ok());
+    return;
+  }
+  if (out.ok()) {
+    EXPECT_GT(out->est_cost, 0);
+    EXPECT_FALSE(out->plan.roots.empty());
+  } else {
+    EXPECT_TRUE(out.status().IsCompileError()) << out.status();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All256, AllFlipsTest, ::testing::Range(0, 256));
+
+TEST(OptimizerPlanTest, DeterministicAcrossRepeatedCalls) {
+  scope::Catalog catalog = PlanCatalog();
+  auto logical = scope::CompileSource(kPlanScript, catalog);
+  ASSERT_TRUE(logical.ok());
+  Optimizer optimizer(catalog);
+  auto a = optimizer.Optimize(*logical, RuleConfig::Default());
+  auto b = optimizer.Optimize(*logical, RuleConfig::Default());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->est_cost, b->est_cost);
+  EXPECT_EQ(a->signature, b->signature);
+  EXPECT_EQ(a->plan.ToString(), b->plan.ToString());
+}
+
+TEST(OptimizerPlanTest, TrueRowsUseAnnotationsNotEstimates) {
+  scope::Catalog catalog = PlanCatalog();
+  auto logical = scope::CompileSource(kPlanScript, catalog);
+  ASSERT_TRUE(logical.ok());
+  Optimizer optimizer(catalog);
+  auto out = optimizer.Optimize(*logical, RuleConfig::Default());
+  ASSERT_TRUE(out.ok());
+  // The scan of "fact" must carry est 6e7-ish and true 5e7-ish rows.
+  for (const auto& node : out->plan.nodes) {
+    if (node.kind == PhysOpKind::kScan && node.table_path == "fact" &&
+        node.predicates.empty()) {
+      EXPECT_DOUBLE_EQ(node.est_rows, 6e7);
+      EXPECT_DOUBLE_EQ(node.true_rows, 5e7);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qo::opt
