@@ -13,9 +13,9 @@ int main() {
   using namespace qo;  // NOLINT
   experiments::ExperimentEnv env;
   struct Arm {
-    int horizon;
+    int horizon = 0;
     size_t improved = 0;
-    std::vector<double> gains;  // est-cost reduction fraction
+    std::vector<double> gains = {};  // est-cost reduction fraction
   };
   Arm arms[] = {{1}, {2}, {3}};
   size_t jobs = 0;

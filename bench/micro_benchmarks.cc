@@ -87,7 +87,8 @@ void BM_PersonalizerRank(benchmark::State& state) {
   uint64_t i = 0;
   for (auto _ : state) {
     bandit::RankRequest req;
-    req.event_id = "e" + std::to_string(i++);
+    req.event_id = "e";
+    req.event_id += std::to_string(i++);
     req.context = shared;
     req.actions = actions;
     auto resp = service.Rank(req);

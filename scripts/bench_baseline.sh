@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Runs every figure/table/ablation bench plus the google-benchmark
+# microbenchmarks and writes a machine-readable baseline JSON.
+#
+# Usage: scripts/bench_baseline.sh [BENCH_BIN_DIR] [OUTPUT_JSON]
+#   BENCH_BIN_DIR  directory with the built bench binaries (default: build/bench)
+#   OUTPUT_JSON    where to write the baseline     (default: BENCH_baseline.json)
+#
+# Output schema:
+#   {
+#     "schema_version": 1,
+#     "figure_benches": {"<name>": {"wall_seconds": float, "exit_code": int}},
+#     "micro_benchmarks": [<google-benchmark json entries>],
+#     "context": {<google-benchmark context: host, cpu, etc.>}
+#   }
+set -euo pipefail
+
+BENCH_DIR="${1:-build/bench}"
+OUTPUT="${2:-BENCH_baseline.json}"
+
+command -v jq >/dev/null || { echo "error: jq is required" >&2; exit 1; }
+[[ -d "$BENCH_DIR" ]] || {
+  echo "error: bench dir '$BENCH_DIR' not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+}
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# --- Figure/table/ablation benches: record wall time + exit code. ---
+fig_json="$tmpdir/figures.json"
+echo '{}' > "$fig_json"
+for bin in "$BENCH_DIR"/*; do
+  name="$(basename "$bin")"
+  [[ -x "$bin" && -f "$bin" ]] || continue
+  [[ "$name" == "micro_benchmarks" ]] && continue
+  start_ns=$(date +%s%N)
+  code=0
+  "$bin" > "$tmpdir/$name.out" 2>&1 || code=$?
+  end_ns=$(date +%s%N)
+  wall=$(jq -n "($end_ns - $start_ns) / 1e9")
+  if [[ $code -ne 0 ]]; then
+    echo "warning: $name exited with $code" >&2
+    tail -5 "$tmpdir/$name.out" >&2
+  fi
+  jq --arg name "$name" --argjson wall "$wall" --argjson code "$code" \
+     '.[$name] = {wall_seconds: $wall, exit_code: $code}' \
+     "$fig_json" > "$fig_json.tmp" && mv "$fig_json.tmp" "$fig_json"
+  printf '%-40s %8.3fs (exit %d)\n' "$name" "$wall" "$code"
+done
+
+# --- Microbenchmarks: native google-benchmark JSON. ---
+micro_json="$tmpdir/micro.json"
+if [[ -x "$BENCH_DIR/micro_benchmarks" ]]; then
+  "$BENCH_DIR/micro_benchmarks" \
+    --benchmark_format=json \
+    --benchmark_out="$micro_json" \
+    --benchmark_out_format=json > /dev/null
+else
+  echo "warning: micro_benchmarks binary not found, emitting empty list" >&2
+  echo '{"benchmarks": [], "context": {}}' > "$micro_json"
+fi
+
+jq -n \
+  --slurpfile figures "$fig_json" \
+  --slurpfile micro "$micro_json" \
+  '{schema_version: 1,
+    figure_benches: $figures[0],
+    micro_benchmarks: $micro[0].benchmarks,
+    context: $micro[0].context}' > "$OUTPUT"
+
+count=$(jq '.figure_benches | length' "$OUTPUT")
+failures=$(jq '[.figure_benches[] | select(.exit_code != 0)] | length' "$OUTPUT")
+micro_count=$(jq '.micro_benchmarks | length' "$OUTPUT")
+echo "wrote $OUTPUT: $count figure benches ($failures failed), $micro_count microbenchmarks"
+[[ "$failures" -eq 0 && "$micro_count" -gt 0 ]]

@@ -46,7 +46,7 @@ struct RankResponse {
 struct PersonalizerConfig {
   /// Exploration rate of the learned policy (epsilon-greedy).
   double epsilon = 0.10;
-  CbModelConfig model;
+  CbModelConfig model = {};
   uint64_t seed = 7;
   /// Retrain after this many new rewarded events.
   size_t retrain_interval = 256;

@@ -4,13 +4,74 @@
 #define QO_COMMON_BITVECTOR_H_
 
 #include <array>
-#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#if defined(__has_include)
+#if __has_include(<version>)
+#include <version>
+#endif
+#endif
+
+#if defined(__cpp_lib_bitops) && __cpp_lib_bitops >= 201907L
+#include <bit>
+#endif
+
+// The library targets C++20 but this header degrades gracefully to C++17
+// consumers (the bit intrinsics above fall back to builtins / SWAR). Below
+// C++17 there is no <version>, structured bindings, or std::clamp anywhere
+// in the tree, so fail loudly instead of drowning the consumer in errors.
+// MSVC reports __cplusplus as 199711L unless /Zc:__cplusplus is set;
+// _MSVC_LANG always carries the real language level there.
+#if defined(_MSVC_LANG)
+#define QO_CPLUSPLUS_LEVEL _MSVC_LANG
+#else
+#define QO_CPLUSPLUS_LEVEL __cplusplus
+#endif
+static_assert(QO_CPLUSPLUS_LEVEL >= 201703L,
+              "qo requires at least C++17 (C++20 recommended); "
+              "compile with -std=c++20 or -std=c++17");
+#undef QO_CPLUSPLUS_LEVEL
+
 namespace qo {
+
+namespace internal {
+
+/// Portable 64-bit popcount: <bit> when the library provides it (C++20),
+/// compiler builtins otherwise, with a SWAR fallback for anything else.
+inline int Popcount64(uint64_t w) {
+#if defined(__cpp_lib_bitops) && __cpp_lib_bitops >= 201907L
+  return std::popcount(w);
+#elif defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(w);
+#else
+  w = w - ((w >> 1) & 0x5555555555555555ULL);
+  w = (w & 0x3333333333333333ULL) + ((w >> 2) & 0x3333333333333333ULL);
+  w = (w + (w >> 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  return static_cast<int>((w * 0x0101010101010101ULL) >> 56);
+#endif
+}
+
+/// Portable count of trailing zero bits; `w` must be non-zero.
+inline int CountrZero64(uint64_t w) {
+  assert(w != 0);
+#if defined(__cpp_lib_bitops) && __cpp_lib_bitops >= 201907L
+  return std::countr_zero(w);
+#elif defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctzll(w);
+#else
+  int n = 0;
+  while ((w & 1) == 0) {
+    w >>= 1;
+    ++n;
+  }
+  return n;
+#endif
+}
+
+}  // namespace internal
 
 /// A compact set of up to 256 bit positions with value semantics.
 ///
@@ -59,7 +120,7 @@ class BitVector256 {
   /// Number of set bits.
   int Count() const {
     int c = 0;
-    for (uint64_t w : words_) c += std::popcount(w);
+    for (uint64_t w : words_) c += internal::Popcount64(w);
     return c;
   }
 
@@ -75,7 +136,7 @@ class BitVector256 {
     for (int w = 0; w < 4; ++w) {
       uint64_t word = words_[w];
       while (word != 0) {
-        int bit = std::countr_zero(word);
+        int bit = internal::CountrZero64(word);
         out.push_back(w * 64 + bit);
         word &= word - 1;
       }

@@ -437,12 +437,29 @@ struct MExpr {
 
   std::string Fingerprint() const {
     std::string f = std::to_string(static_cast<int>(kind));
-    for (int c : children) f += "," + std::to_string(c);
-    f += "|" + table_path + "|" + left_key + "|" + right_key;
-    f += partial_agg ? "|P" : "";
-    for (const auto& p : predicates) f += "|" + p.ToString();
-    for (const auto& s : projections) f += "|" + s.ToString();
-    for (const auto& g : group_by) f += "|" + g;
+    for (int c : children) {
+      f += ',';
+      f += std::to_string(c);
+    }
+    f += '|';
+    f += table_path;
+    f += '|';
+    f += left_key;
+    f += '|';
+    f += right_key;
+    if (partial_agg) f += "|P";
+    for (const auto& p : predicates) {
+      f += '|';
+      f += p.ToString();
+    }
+    for (const auto& s : projections) {
+      f += '|';
+      f += s.ToString();
+    }
+    for (const auto& g : group_by) {
+      f += '|';
+      f += g;
+    }
     return f;
   }
 };

@@ -64,16 +64,28 @@ std::string PhysicalPlan::ToString() const {
     const PhysicalNode& n = nodes[id];
     out.append(static_cast<size_t>(depth) * 2, ' ');
     out += PhysOpKindToString(n.kind);
-    out += "#" + std::to_string(n.id);
-    if (n.kind == PhysOpKind::kScan) out += " " + n.table_path;
-    if (n.kind == PhysOpKind::kExchangeShuffle) out += " by " + n.exchange_key;
+    out += '#';
+    out += std::to_string(n.id);
+    if (n.kind == PhysOpKind::kScan) {
+      out += ' ';
+      out += n.table_path;
+    }
+    if (n.kind == PhysOpKind::kExchangeShuffle) {
+      out += " by ";
+      out += n.exchange_key;
+    }
     if (n.kind == PhysOpKind::kHashJoin || n.kind == PhysOpKind::kMergeJoin ||
         n.kind == PhysOpKind::kBroadcastJoin) {
-      out += " on " + n.left_key + "==" + n.right_key;
+      out += " on ";
+      out += n.left_key;
+      out += "==";
+      out += n.right_key;
     }
-    out += " [rows=" + std::to_string(static_cast<long long>(n.est_rows)) +
-           " P=" + std::to_string(n.partitions) + "]";
-    out += "\n";
+    out += " [rows=";
+    out += std::to_string(static_cast<long long>(n.est_rows));
+    out += " P=";
+    out += std::to_string(n.partitions);
+    out += "]\n";
     for (int c : n.children) dump(c, depth + 1);
   };
   for (int r : roots) dump(r, 0);

@@ -38,10 +38,12 @@ std::string LogicalPlan::ToString() const {
     const LogicalNode& n = nodes[id];
     out.append(static_cast<size_t>(depth) * 2, ' ');
     out += LogicalOpKindToString(n.kind);
-    out += "#" + std::to_string(n.id);
+    out += '#';
+    out += std::to_string(n.id);
     switch (n.kind) {
       case LogicalOpKind::kScan:
-        out += " " + n.table_path;
+        out += ' ';
+        out += n.table_path;
         break;
       case LogicalOpKind::kFilter: {
         out += " [";
@@ -53,7 +55,10 @@ std::string LogicalPlan::ToString() const {
         break;
       }
       case LogicalOpKind::kJoin:
-        out += " on " + n.left_key + "==" + n.right_key;
+        out += " on ";
+        out += n.left_key;
+        out += "==";
+        out += n.right_key;
         break;
       case LogicalOpKind::kAggregate: {
         out += " by(";
@@ -65,7 +70,8 @@ std::string LogicalPlan::ToString() const {
         break;
       }
       case LogicalOpKind::kOutput:
-        out += " -> " + n.output_path;
+        out += " -> ";
+        out += n.output_path;
         break;
       default:
         break;

@@ -105,7 +105,10 @@ JobTemplate TemplateGenerator::GenerateOne(int id) {
     dim.base_ndv[pk] = dim.base_rows;  // unique primary key
     const int extra = static_cast<int>(rng.UniformInt(2, 6));
     for (int c = 0; c < extra; ++c) {
-      std::string name = "d" + std::to_string(j) + "_a" + std::to_string(c);
+      std::string name = "d";
+      name += std::to_string(j);
+      name += "_a";
+      name += std::to_string(c);
       dim.columns.push_back({name, c % 2 == 0 ? ColumnType::kString
                                               : ColumnType::kDouble});
       dim.base_ndv[name] = rng.Uniform(5.0, dim.base_rows);

@@ -97,7 +97,8 @@ std::vector<RankableAction> ThreeActions() {
   std::vector<RankableAction> actions;
   for (int i = 0; i < 3; ++i) {
     RankableAction a;
-    a.action_id = "a" + std::to_string(i);
+    a.action_id = "a";
+    a.action_id += std::to_string(i);
     a.features = BuildActionFeatures(40 + i, false);
     actions.push_back(std::move(a));
   }
@@ -149,7 +150,8 @@ TEST(PersonalizerTest, ColdStartRanksUniformly) {
   std::set<std::string> chosen;
   for (int i = 0; i < 60; ++i) {
     RankRequest req;
-    req.event_id = "e" + std::to_string(i);
+    req.event_id = "e";
+    req.event_id += std::to_string(i);
     req.actions = ThreeActions();
     auto resp = service.Rank(req);
     ASSERT_TRUE(resp.ok());
@@ -165,7 +167,8 @@ TEST(PersonalizerTest, LearnsToPickTheGoodAction) {
   // Reward structure: action a1 pays 2.0, others 0.5.
   for (int i = 0; i < 400; ++i) {
     RankRequest req;
-    req.event_id = "train" + std::to_string(i);
+    req.event_id = "train";
+    req.event_id += std::to_string(i);
     req.actions = ThreeActions();
     req.explore_uniform = true;
     auto resp = service.Rank(req);
@@ -178,7 +181,8 @@ TEST(PersonalizerTest, LearnsToPickTheGoodAction) {
   const int kTrials = 100;
   for (int i = 0; i < kTrials; ++i) {
     RankRequest req;
-    req.event_id = "test" + std::to_string(i);
+    req.event_id = "test";
+    req.event_id += std::to_string(i);
     req.actions = ThreeActions();
     auto resp = service.Rank(req);
     ASSERT_TRUE(resp.ok());
@@ -192,7 +196,8 @@ TEST(PersonalizerTest, OfflineEvaluationComparesPolicies) {
   PersonalizerService service({.seed = 2, .retrain_interval = 1000000});
   for (int i = 0; i < 200; ++i) {
     RankRequest req;
-    req.event_id = "e" + std::to_string(i);
+    req.event_id = "e";
+    req.event_id += std::to_string(i);
     req.actions = ThreeActions();
     req.explore_uniform = true;
     auto resp = service.Rank(req);

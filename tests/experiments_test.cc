@@ -130,12 +130,20 @@ TEST(ExperimentsTest, CostFilterAblationFloodsFlighting) {
 }
 
 TEST(ExperimentsTest, EndToEndPipelineImpactIsNetPositive) {
-  ExperimentEnv env(SmallConfig());
+  // The validation model needs min_training_samples flighting observations
+  // before any hint goes live, and at SmallConfig scale (40x60) no template
+  // accumulates enough within 14 train days — the hint file stays empty and
+  // nothing matches on the eval days. Run this end-to-end test on a slightly
+  // larger workload so the Table-2 assertion is actually exercised.
+  ExperimentConfig config = SmallConfig();
+  config.num_templates = 60;
+  config.jobs_per_day = 90;
+  ExperimentEnv env(config);
   AggregateImpactResult result =
       RunAggregateImpact(env, /*train_days=*/14, /*eval_days=*/4);
-  if (result.matched_jobs == 0) {
-    GTEST_SKIP() << "no hints matched in this reduced configuration";
-  }
+  ASSERT_GT(result.matched_jobs, 0) << "no hints matched: the pipeline "
+                                       "produced no live hints at this scale";
+  ASSERT_GT(result.active_hints, 0u);
   // Table 2: net PNhours reduction on matched jobs.
   EXPECT_LT(result.pn_hours_reduction, 0.0);
   EXPECT_EQ(result.pn_deltas.size(),

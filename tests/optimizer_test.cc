@@ -314,7 +314,9 @@ TEST(OptimizerPlanTest, DisablingFilterPushdownKeepsFilterAboveScan) {
   auto out = optimizer.Optimize(*logical, config);
   ASSERT_TRUE(out.ok());
   for (const auto& node : out->plan.nodes) {
-    if (node.kind == PhysOpKind::kScan) EXPECT_TRUE(node.predicates.empty());
+    if (node.kind == PhysOpKind::kScan) {
+      EXPECT_TRUE(node.predicates.empty());
+    }
   }
   EXPECT_FALSE(out->signature.Test(rules::kFilterIntoScan));
 }
