@@ -5,8 +5,12 @@
 
 #include "bandit/personalizer.h"
 #include "common/bitvector.h"
+#include "core/feature_gen.h"
 #include "core/span.h"
 #include "engine/engine.h"
+#include "flighting/flighting.h"
+#include "runtime/runtime.h"
+#include "telemetry/workload_view.h"
 #include "workload/workload.h"
 
 namespace {
@@ -96,6 +100,80 @@ void BM_PersonalizerRank(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PersonalizerRank);
+
+// --- Parallel runtime: threads=N axes. On a single hardware thread these
+// show the runtime's overhead ceiling; on multi-core they show the fan-out
+// speedup of the two hottest service paths. Results are byte-identical
+// across the axis (asserted by runtime_test), so only wall time moves.
+
+void BM_ParallelFlightBatch(benchmark::State& state) {
+  runtime::ParallelRuntime rt(
+      {.num_threads = static_cast<int>(state.range(0))});
+  engine::ScopeEngine engine;
+  flight::FlightingConfig config;
+  config.queue_capacity = 64;
+  config.total_budget_machine_hours = 1e9;
+  flight::FlightingService service(&engine, config, &rt);
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    service.ResetBudget();
+    std::vector<flight::FlightRequest> requests;
+    requests.reserve(Jobs().size());
+    for (size_t i = 0; i < Jobs().size(); ++i) {
+      flight::FlightRequest r;
+      r.job = Jobs()[i];
+      r.candidate = opt::RuleConfig::DefaultWithFlip(
+          opt::rules::kEagerAggregationLeft);
+      r.est_cost_delta = -0.01 * static_cast<double>(i % 5);
+      requests.push_back(std::move(r));
+    }
+    auto results = service.FlightBatch(std::move(requests), salt++);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(Jobs().size()));
+}
+BENCHMARK(BM_ParallelFlightBatch)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ParallelFeatureGen(benchmark::State& state) {
+  runtime::ParallelRuntime rt(
+      {.num_threads = static_cast<int>(state.range(0))});
+  engine::ScopeEngine engine;
+  // One day's view, built once: the benchmark measures the span-computation
+  // fan-out (the pipeline's dominant recompilation loop), not execution.
+  static const telemetry::WorkloadView* view = [] {
+    auto* v = new telemetry::WorkloadView();
+    engine::ScopeEngine build_engine;
+    for (const auto& job : Jobs()) {
+      auto run = build_engine.Run(job, opt::RuleConfig::Default(), 0);
+      if (!run.ok()) continue;
+      v->rows.push_back(
+          telemetry::MakeViewRow(job, run->compilation, run->metrics));
+    }
+    return v;
+  }();
+  for (auto _ : state) {
+    auto features = advisor::GenerateFeatures(engine, *view, nullptr, &rt);
+    benchmark::DoNotOptimize(features);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(view->rows.size()));
+}
+BENCHMARK(BM_ParallelFeatureGen)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_BitVectorOps(benchmark::State& state) {
   BitVector256 a = BitVector256::FromPositions({1, 50, 100, 200, 255});

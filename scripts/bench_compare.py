@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against the recorded baseline; fail on regression.
+
+Usage:
+  scripts/bench_compare.py BASELINE_JSON FRESH_JSON [--tolerance 0.20]
+                           [--min-seconds 0.05] [--micro-min-seconds 1e-6]
+
+Both files use the schema written by scripts/bench_baseline.sh:
+  figure_benches:   {"<name>": {"wall_seconds": float, "exit_code": int}}
+  micro_benchmarks: [google-benchmark JSON entries]
+
+Rules:
+  * A figure bench REGRESSES when its exit code turns nonzero, or its wall
+    time exceeds baseline * (1 + tolerance).
+  * A microbenchmark REGRESSES when its real_time exceeds
+    baseline * (1 + tolerance).
+  * Benches faster than the floor (--min-seconds / --micro-min-seconds) in
+    the baseline are reported but never fail the gate — too noisy.
+  * Entries present on only one side are reported as added/removed, never a
+    failure (new benchmarks land before their baseline refresh).
+
+Exit codes: 0 = no regression, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    if "figure_benches" not in data:
+        print(f"error: {path} has no figure_benches (wrong schema?)",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return data
+
+
+def micro_seconds(entry):
+    unit = TIME_UNIT_SECONDS.get(entry.get("time_unit", "ns"), 1e-9)
+    return float(entry.get("real_time", 0.0)) * unit
+
+
+def micro_by_name(data):
+    out = {}
+    for entry in data.get("micro_benchmarks", []) or []:
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        out[entry["name"]] = entry
+    return out
+
+
+def fmt_secs(s):
+    if s >= 1.0:
+        return f"{s:8.3f}s "
+    if s >= 1e-3:
+        return f"{s * 1e3:8.3f}ms"
+    return f"{s * 1e6:8.3f}us"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Bench regression gate against BENCH_baseline.json")
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed slowdown fraction (default 0.20 = 20%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="figure benches under this baseline wall time "
+                             "never fail the gate")
+    parser.add_argument("--micro-min-seconds", type=float, default=1e-6,
+                        help="microbenchmarks under this baseline time never "
+                             "fail the gate")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    regressions = []
+    rows = []
+
+    def record(kind, name, base_s, fresh_s, gated, note=""):
+        delta = (fresh_s / base_s - 1.0) if base_s > 0 else 0.0
+        status = "ok"
+        if note:
+            status = note
+        elif delta > args.tolerance:
+            status = "REGRESSED" if gated else "slower (ungated)"
+            if gated:
+                regressions.append(f"{kind} {name}: "
+                                   f"{base_s:.4g}s -> {fresh_s:.4g}s "
+                                   f"({delta:+.1%} > {args.tolerance:.0%})")
+        elif delta < -args.tolerance:
+            status = "faster"
+        rows.append((kind, name, base_s, fresh_s, delta, status))
+
+    # --- Figure benches: wall time + exit code. ---
+    base_figs = baseline["figure_benches"]
+    fresh_figs = fresh["figure_benches"]
+    for name in sorted(set(base_figs) | set(fresh_figs)):
+        if name not in fresh_figs:
+            rows.append(("figure", name, base_figs[name]["wall_seconds"],
+                         float("nan"), 0.0, "removed"))
+            continue
+        if name not in base_figs:
+            rows.append(("figure", name, float("nan"),
+                         fresh_figs[name]["wall_seconds"], 0.0, "added"))
+            continue
+        b, f = base_figs[name], fresh_figs[name]
+        if f.get("exit_code", 0) != 0:
+            regressions.append(f"figure {name}: exit code "
+                               f"{f['exit_code']} (was {b.get('exit_code', 0)})")
+            rows.append(("figure", name, b["wall_seconds"], f["wall_seconds"],
+                         0.0, "EXIT!=0"))
+            continue
+        gated = b["wall_seconds"] >= args.min_seconds
+        record("figure", name, b["wall_seconds"], f["wall_seconds"], gated)
+
+    # --- Microbenchmarks: real_time by name. ---
+    base_micro = micro_by_name(baseline)
+    fresh_micro = micro_by_name(fresh)
+    for name in sorted(set(base_micro) | set(fresh_micro)):
+        if name not in fresh_micro:
+            rows.append(("micro", name, micro_seconds(base_micro[name]),
+                         float("nan"), 0.0, "removed"))
+            continue
+        if name not in base_micro:
+            rows.append(("micro", name, float("nan"),
+                         micro_seconds(fresh_micro[name]), 0.0, "added"))
+            continue
+        base_s = micro_seconds(base_micro[name])
+        fresh_s = micro_seconds(fresh_micro[name])
+        gated = base_s >= args.micro_min_seconds
+        record("micro", name, base_s, fresh_s, gated)
+
+    print(f"{'kind':6} {'benchmark':44} {'baseline':>10} {'fresh':>10} "
+          f"{'delta':>8}  status")
+    for kind, name, base_s, fresh_s, delta, status in rows:
+        base_txt = fmt_secs(base_s) if base_s == base_s else "       -  "
+        fresh_txt = fmt_secs(fresh_s) if fresh_s == fresh_s else "       -  "
+        print(f"{kind:6} {name:44} {base_txt:>10} {fresh_txt:>10} "
+              f"{delta:+7.1%}  {status}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.tolerance:.0%} tolerance "
+          f"({len(rows)} benches compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,6 +54,11 @@ struct PersonalizerConfig {
 
 /// The service. Thread-compatible, not thread-safe (matches the offline
 /// daily-pipeline usage).
+/// Thread-safety: Rank/Reward/Retrain mutate the event log, the learning
+/// state and a shared Rng, and a retrain between two Rank calls changes
+/// every later choice — so the runtime never fans these out. The parallel
+/// recommendation path pre-evaluates recompilations concurrently and keeps
+/// all Personalizer traffic on the committing thread, in submission order.
 class PersonalizerService {
  public:
   explicit PersonalizerService(PersonalizerConfig config = {});

@@ -12,6 +12,10 @@ namespace qo {
 
 /// xoshiro256++ generator seeded via splitmix64. Small, fast and good enough
 /// for simulation workloads; not cryptographic.
+/// Thread-safety: NOT thread-safe — every draw mutates the 256-bit state.
+/// Code running under the parallel runtime constructs a local Rng from an
+/// explicit per-task seed instead of sharing one (shared sequential draws
+/// would also make results depend on execution order).
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }

@@ -1,29 +1,37 @@
 #include "core/feature_gen.h"
 
+#include "runtime/runtime.h"
+
 namespace qo::advisor {
 
 std::vector<JobFeatures> GenerateFeatures(const engine::ScopeEngine& engine,
                                           const telemetry::WorkloadView& view,
-                                          FeatureGenStats* stats) {
+                                          FeatureGenStats* stats,
+                                          runtime::ParallelRuntime* runtime) {
   FeatureGenStats local;
   std::vector<JobFeatures> out;
-  local.input_jobs = view.rows.size();
-  for (const auto& row : view.rows) {
-    auto span = ComputeJobSpan(engine, row.instance);
-    if (!span.ok()) {
-      ++local.compile_failures;
-      continue;
-    }
-    if (span->span.None()) {
-      ++local.empty_span_dropped;
-      continue;
-    }
-    JobFeatures f;
-    f.row = row;
-    f.span = span->span;
-    f.default_compilation = std::move(span->default_compilation);
-    out.push_back(std::move(f));
-  }
+  const auto& rows = view.rows;
+  local.input_jobs = rows.size();
+  runtime::ForEachOrdered<Result<SpanResult>>(
+      runtime, rows.size(),
+      [&](size_t i) { return static_cast<uint64_t>(rows[i].template_id); },
+      [](size_t i) { return static_cast<double>(i); },
+      [&](size_t i) { return ComputeJobSpan(engine, rows[i].instance); },
+      [&](size_t i, Result<SpanResult>&& span) {
+        if (!span.ok()) {
+          ++local.compile_failures;
+          return;
+        }
+        if (span->span.None()) {
+          ++local.empty_span_dropped;
+          return;
+        }
+        JobFeatures f;
+        f.row = rows[i];
+        f.span = span->span;
+        f.default_compilation = std::move(span->default_compilation);
+        out.push_back(std::move(f));
+      });
   local.emitted = out.size();
   if (stats != nullptr) *stats = local;
   return out;

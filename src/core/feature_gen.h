@@ -11,6 +11,10 @@
 #include "core/span.h"
 #include "telemetry/workload_view.h"
 
+namespace qo::runtime {
+class ParallelRuntime;
+}  // namespace qo::runtime
+
 namespace qo::advisor {
 
 /// Per-job features handed to the Recommendation task.
@@ -38,10 +42,14 @@ struct FeatureGenStats {
   size_t emitted = 0;
 };
 
-/// Runs feature generation over a day's view.
-std::vector<JobFeatures> GenerateFeatures(const engine::ScopeEngine& engine,
-                                          const telemetry::WorkloadView& view,
-                                          FeatureGenStats* stats = nullptr);
+/// Runs feature generation over a day's view. With a runtime attached, the
+/// span computations (the pipeline's hottest recompilation loop) fan out
+/// across the pool sharded by template id; results commit in row order, so
+/// output and stats are byte-identical to the serial path.
+std::vector<JobFeatures> GenerateFeatures(
+    const engine::ScopeEngine& engine, const telemetry::WorkloadView& view,
+    FeatureGenStats* stats = nullptr,
+    runtime::ParallelRuntime* runtime = nullptr);
 
 }  // namespace qo::advisor
 

@@ -6,12 +6,18 @@ namespace qo::advisor {
 
 QoAdvisorPipeline::QoAdvisorPipeline(const engine::ScopeEngine* engine,
                                      sis::StatsInsightService* sis,
-                                     PipelineConfig config)
+                                     PipelineConfig config,
+                                     runtime::ParallelRuntime* runtime)
     : engine_(engine),
       sis_(sis),
       config_(config),
+      owned_runtime_(runtime != nullptr
+                         ? nullptr
+                         : std::make_unique<runtime::ParallelRuntime>(
+                               config.runtime)),
+      runtime_(runtime != nullptr ? runtime : owned_runtime_.get()),
       personalizer_(config.personalizer),
-      flighting_(engine, config.flighting),
+      flighting_(engine, config.flighting, runtime_),
       recommender_(engine, &personalizer_, config.recommender),
       validation_(config.validation) {}
 
@@ -40,11 +46,11 @@ Result<PipelineDayReport> QoAdvisorPipeline::RunDay(
     if (!config_.recurring_only || row.recurring) filtered.rows.push_back(row);
   }
   std::vector<JobFeatures> features =
-      GenerateFeatures(*engine_, filtered, &report.feature_gen);
+      GenerateFeatures(*engine_, filtered, &report.feature_gen, runtime_);
 
   // --- Recommendation (CB + recompilation + pruning). ---
-  std::vector<Recommendation> recs =
-      recommender_.RecommendDay(features, view.day, &report.recommender);
+  std::vector<Recommendation> recs = recommender_.RecommendDay(
+      features, view.day, &report.recommender, runtime_);
 
   // --- Flight selection: one representative per template, budget-capped.
   std::vector<Recommendation> candidates = PickRepresentatives(std::move(recs));

@@ -20,6 +20,7 @@
 #include "core/recommend.h"
 #include "core/validation.h"
 #include "flighting/flighting.h"
+#include "runtime/runtime.h"
 #include "sis/sis.h"
 #include "telemetry/workload_view.h"
 
@@ -36,6 +37,10 @@ struct PipelineConfig {
   bool one_flight_per_template = true;
   /// Consider only recurring jobs (the paper's current scope, Sec. 2.1).
   bool recurring_only = true;
+  /// Parallel runtime for the span/recompilation and flighting fan-outs.
+  /// Deterministic: any num_threads produces byte-identical day reports,
+  /// SIS uploads and learning state.
+  runtime::RuntimeOptions runtime;
 };
 
 /// Per-day pipeline telemetry.
@@ -57,13 +62,18 @@ struct PipelineDayReport {
 /// The daily-pipeline orchestrator.
 class QoAdvisorPipeline {
  public:
+  /// When `runtime` is non-null the pipeline borrows it (sharing one pool
+  /// with the caller, e.g. the experiment harness) and ignores
+  /// config.runtime; otherwise it owns a pool built from config.runtime.
   QoAdvisorPipeline(const engine::ScopeEngine* engine,
-                    sis::StatsInsightService* sis, PipelineConfig config = {});
+                    sis::StatsInsightService* sis, PipelineConfig config = {},
+                    runtime::ParallelRuntime* runtime = nullptr);
 
   /// Runs the full pipeline over one day's denormalized view.
   Result<PipelineDayReport> RunDay(const telemetry::WorkloadView& view);
 
   bandit::PersonalizerService& personalizer() { return personalizer_; }
+  runtime::ParallelRuntime& runtime() { return *runtime_; }
   flight::FlightingService& flighting() { return flighting_; }
   ValidationModel& validation_model() { return validation_; }
   const std::vector<ValidationSample>& validation_samples() const {
@@ -79,6 +89,10 @@ class QoAdvisorPipeline {
   const engine::ScopeEngine* engine_;
   sis::StatsInsightService* sis_;
   PipelineConfig config_;
+  /// Owned pool (null when a caller's runtime is borrowed). Declared before
+  /// runtime_/flighting_, which point at it.
+  std::unique_ptr<runtime::ParallelRuntime> owned_runtime_;
+  runtime::ParallelRuntime* runtime_;
   bandit::PersonalizerService personalizer_;
   flight::FlightingService flighting_;
   Recommender recommender_;

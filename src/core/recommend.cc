@@ -1,6 +1,9 @@
 #include "core/recommend.h"
 
 #include <algorithm>
+#include <map>
+
+#include "runtime/runtime.h"
 
 namespace qo::advisor {
 
@@ -10,6 +13,67 @@ namespace {
 int RuleIdOfAction(const std::vector<int>& span_bits, size_t action_index) {
   if (action_index == 0) return -1;
   return span_bits[action_index - 1];
+}
+
+/// The flip-specific outcome of one recompilation — everything EvaluateFlip
+/// derives beyond the job's identity fields. The parallel pre-evaluation
+/// caches these slim records instead of full Recommendations (which copy
+/// the job instance and its catalog per span bit).
+struct FlipEval {
+  bool enable = false;
+  double est_cost_new = 0.0;
+  RecompileOutcome outcome = RecompileOutcome::kEqualCost;
+  double reward = 1.0;
+};
+
+FlipEval EvaluateFlipCore(const engine::ScopeEngine& engine,
+                          double reward_clip, const JobFeatures& job,
+                          int rule_id) {
+  FlipEval e;
+  double est_cost_default = job.default_compilation.est_cost;
+  e.enable = !opt::RuleConfig::Default().IsEnabled(rule_id);
+  auto recompiled = engine.Compile(job.row.instance,
+                                   opt::RuleConfig::DefaultWithFlip(rule_id));
+  if (!recompiled.ok()) {
+    e.outcome = RecompileOutcome::kRecompileFailure;
+    e.est_cost_new = 0.0;
+    e.reward = 0.0;
+    return e;
+  }
+  e.est_cost_new = recompiled->est_cost;
+  const double kTolerance = 1e-9;
+  if (e.est_cost_new < est_cost_default * (1.0 - kTolerance)) {
+    e.outcome = RecompileOutcome::kLowerCost;
+  } else if (e.est_cost_new > est_cost_default * (1.0 + kTolerance)) {
+    e.outcome = RecompileOutcome::kHigherCost;
+  } else {
+    e.outcome = RecompileOutcome::kEqualCost;
+  }
+  // Reward: fractional reduction in estimated cost, expressed as the ratio
+  // default/new and clipped to bound outliers (Sec. 4.2).
+  double ratio =
+      e.est_cost_new > 0.0 ? est_cost_default / e.est_cost_new : 0.0;
+  e.reward = std::clamp(ratio, 0.0, reward_clip);
+  return e;
+}
+
+/// Rebuilds the full Recommendation from the job's identity fields plus a
+/// (possibly cached) flip evaluation.
+Recommendation MaterializeFlip(const JobFeatures& job, int rule_id,
+                               const FlipEval& e) {
+  Recommendation rec;
+  rec.job_id = job.row.job_id;
+  rec.template_name = job.row.normalized_job_name;
+  rec.template_id = job.row.template_id;
+  rec.rule_id = rule_id;
+  rec.instance = job.row.instance;
+  rec.span = job.span;
+  rec.est_cost_default = job.default_compilation.est_cost;
+  rec.enable = e.enable;
+  rec.est_cost_new = e.est_cost_new;
+  rec.outcome = e.outcome;
+  rec.reward = e.reward;
+  return rec;
 }
 
 }  // namespace
@@ -37,52 +101,55 @@ std::vector<bandit::RankableAction> Recommender::BuildActions(
 
 Recommendation Recommender::EvaluateFlip(const JobFeatures& job,
                                          int rule_id) const {
-  Recommendation rec;
-  rec.job_id = job.row.job_id;
-  rec.template_name = job.row.normalized_job_name;
-  rec.template_id = job.row.template_id;
-  rec.rule_id = rule_id;
-  rec.instance = job.row.instance;
-  rec.span = job.span;
-  rec.est_cost_default = job.default_compilation.est_cost;
   if (rule_id < 0) {
-    rec.est_cost_new = rec.est_cost_default;
-    rec.outcome = RecompileOutcome::kEqualCost;
-    rec.reward = 1.0;
-    return rec;
+    // No-op action: no recompilation, identity outcome.
+    FlipEval noop;
+    noop.est_cost_new = job.default_compilation.est_cost;
+    return MaterializeFlip(job, rule_id, noop);
   }
-  rec.enable = !opt::RuleConfig::Default().IsEnabled(rule_id);
-  auto recompiled =
-      engine_->Compile(job.row.instance, opt::RuleConfig::DefaultWithFlip(rule_id));
-  if (!recompiled.ok()) {
-    rec.outcome = RecompileOutcome::kRecompileFailure;
-    rec.est_cost_new = 0.0;
-    rec.reward = 0.0;
-    return rec;
-  }
-  rec.est_cost_new = recompiled->est_cost;
-  const double kTolerance = 1e-9;
-  if (rec.est_cost_new < rec.est_cost_default * (1.0 - kTolerance)) {
-    rec.outcome = RecompileOutcome::kLowerCost;
-  } else if (rec.est_cost_new > rec.est_cost_default * (1.0 + kTolerance)) {
-    rec.outcome = RecompileOutcome::kHigherCost;
-  } else {
-    rec.outcome = RecompileOutcome::kEqualCost;
-  }
-  // Reward: fractional reduction in estimated cost, expressed as the ratio
-  // default/new and clipped to bound outliers (Sec. 4.2).
-  double ratio = rec.est_cost_new > 0.0
-                     ? rec.est_cost_default / rec.est_cost_new
-                     : 0.0;
-  rec.reward = std::clamp(ratio, 0.0, config_.reward_clip);
-  return rec;
+  return MaterializeFlip(
+      job, rule_id,
+      EvaluateFlipCore(*engine_, config_.reward_clip, job, rule_id));
 }
 
 std::vector<Recommendation> Recommender::RecommendDay(
-    const std::vector<JobFeatures>& jobs, int day, RecommenderStats* stats) {
+    const std::vector<JobFeatures>& jobs, int day, RecommenderStats* stats,
+    runtime::ParallelRuntime* runtime) {
+  // Recompilation is the expensive half of this task; the bandit math is
+  // cheap but stateful (Rank/Reward mutate the Personalizer, and a retrain
+  // between two jobs changes every later choice). So: pre-evaluate every
+  // span flip across the pool, keep the bandit loop serial, and serve its
+  // EvaluateFlip calls from the cache.
+  std::vector<std::map<int, FlipEval>> flip_cache;
+  if (runtime != nullptr && runtime->parallel()) {
+    flip_cache = runtime->TransformOrdered<std::map<int, FlipEval>>(
+        jobs.size(),
+        [&](size_t i) { return static_cast<uint64_t>(jobs[i].row.template_id); },
+        [](size_t i) { return static_cast<double>(i); },
+        [&](size_t i) {
+          std::map<int, FlipEval> flips;
+          for (int bit : jobs[i].span.Positions()) {
+            flips.emplace(bit, EvaluateFlipCore(*engine_, config_.reward_clip,
+                                                jobs[i], bit));
+          }
+          return flips;
+        });
+  }
+  auto evaluate = [&](size_t job_index, const JobFeatures& job,
+                      int rule) -> Recommendation {
+    if (rule >= 0 && !flip_cache.empty()) {
+      auto it = flip_cache[job_index].find(rule);
+      if (it != flip_cache[job_index].end()) {
+        return MaterializeFlip(job, rule, it->second);
+      }
+    }
+    return EvaluateFlip(job, rule);
+  };
+
   RecommenderStats local;
   std::vector<Recommendation> forwarded;
-  for (const JobFeatures& job : jobs) {
+  for (size_t job_index = 0; job_index < jobs.size(); ++job_index) {
+    const JobFeatures& job = jobs[job_index];
     ++local.jobs;
     bandit::FeatureVector context =
         bandit::BuildContextFeatures(job.ToContext());
@@ -101,7 +168,7 @@ std::vector<Recommendation> Recommender::RecommendDay(
       auto log_rank = personalizer_->Rank(log_request);
       if (log_rank.ok()) {
         int rule = RuleIdOfAction(span_bits, log_rank->chosen_index);
-        Recommendation probe = EvaluateFlip(job, rule);
+        Recommendation probe = evaluate(job_index, job, rule);
         personalizer_->Reward(log_rank->event_id, probe.reward).ok();
       }
     }
@@ -121,7 +188,7 @@ std::vector<Recommendation> Recommender::RecommendDay(
       ++local.equal_cost;
       continue;
     }
-    Recommendation rec = EvaluateFlip(job, rule);
+    Recommendation rec = evaluate(job_index, job, rule);
     switch (rec.outcome) {
       case RecompileOutcome::kLowerCost:
         ++local.lower_cost;

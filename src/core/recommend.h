@@ -15,6 +15,10 @@
 #include "bandit/personalizer.h"
 #include "core/feature_gen.h"
 
+namespace qo::runtime {
+class ParallelRuntime;
+}  // namespace qo::runtime
+
 namespace qo::advisor {
 
 /// Outcome category of a recompilation with a rule flip (Table 3 rows).
@@ -87,11 +91,21 @@ class Recommender {
 
   /// Processes one day of featurized jobs. Returns recommendations that
   /// survived pruning (candidates for flighting).
+  ///
+  /// With a runtime attached, every span flip is pre-evaluated in parallel
+  /// (sharded by template id) and the serial bandit loop below reads from
+  /// that cache instead of recompiling inline. EvaluateFlip is pure, so the
+  /// cached and lazily evaluated paths produce byte-identical
+  /// recommendations — the Personalizer's order-dependent learning state is
+  /// only ever touched from the calling thread.
   std::vector<Recommendation> RecommendDay(
       const std::vector<JobFeatures>& jobs, int day,
-      RecommenderStats* stats = nullptr);
+      RecommenderStats* stats = nullptr,
+      runtime::ParallelRuntime* runtime = nullptr);
 
   /// Evaluates one specific flip (used by tests and the Table 3 bench).
+  /// Thread-safety: const and pure — one recompilation under the flipped
+  /// config, deterministic per (job, rule_id); safe to call concurrently.
   Recommendation EvaluateFlip(const JobFeatures& job, int rule_id) const;
 
  private:

@@ -30,6 +30,9 @@ struct SpanResult {
 
 /// Computes the span for one job instance. CompileError when even the
 /// default configuration fails.
+/// Thread-safety: pure — a fix-point of const ScopeEngine::Compile calls,
+/// deterministic per job; safe to call concurrently (the feature-generation
+/// stage fans it out across the runtime sharded by template).
 Result<SpanResult> ComputeJobSpan(const engine::ScopeEngine& engine,
                                   const workload::JobInstance& job,
                                   int max_iterations = 8);

@@ -22,6 +22,12 @@ struct JobRunResult {
 };
 
 /// Stateless facade bundling the compiler, optimizer and cluster simulator.
+///
+/// Audited for the parallel runtime: no hidden mutable state. The compiler
+/// and optimizer are constructed per Compile call; the cluster simulator
+/// seeds a local RNG per Execute call; the only process-wide state touched
+/// (RuleRegistry, lexer keyword table) is immutable after its thread-safe
+/// first-use initialization.
 class ScopeEngine {
  public:
   explicit ScopeEngine(opt::OptimizerOptions optimizer_options = {},
@@ -29,16 +35,21 @@ class ScopeEngine {
 
   /// Parses, compiles and optimizes the instance's script under `config`.
   /// CompileError on parse/semantic errors or infeasible configurations.
+  /// Thread-safety: const and pure — deterministic per (job, config), safe
+  /// to call concurrently.
   Result<opt::CompilationOutput> Compile(const workload::JobInstance& job,
                                          const opt::RuleConfig& config) const;
 
   /// Compile + execute. `run_salt` differentiates repeated executions of the
   /// same instance (A/A and A/B runs); identical salts replay identically.
+  /// Thread-safety: const and pure — all randomness derives from
+  /// (job.run_seed, run_salt), safe to call concurrently.
   Result<JobRunResult> Run(const workload::JobInstance& job,
                            const opt::RuleConfig& config,
                            uint64_t run_salt) const;
 
   /// Executes an already-compiled plan.
+  /// Thread-safety: const and pure — see Run(); safe to call concurrently.
   exec::JobMetrics Execute(const workload::JobInstance& job,
                            const opt::PhysicalPlan& plan,
                            uint64_t run_salt) const;

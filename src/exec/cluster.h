@@ -96,6 +96,9 @@ class ClusterSimulator {
   /// Executes `plan` once. The catalog supplies ground-truth table sizes for
   /// scan I/O. Byte counters in the result are noise-free (paper Sec. 4.3:
   /// "data read and data written remain constant" across A/A runs).
+  /// Thread-safety: const and pure — every stochastic draw comes from a
+  /// local Rng seeded with `run_seed` (no shared generator), and `config_`
+  /// is immutable after construction; safe to call concurrently.
   JobMetrics Execute(const opt::PhysicalPlan& plan,
                      const scope::Catalog& catalog, uint64_t run_seed) const;
 

@@ -43,7 +43,14 @@ std::vector<JobFeatures> DayFeatures(const ExperimentEnv& env, int day,
   for (auto& row : view.rows) {
     if (!recurring_only || row.recurring) filtered.rows.push_back(row);
   }
-  return advisor::GenerateFeatures(env.engine(), filtered);
+  return advisor::GenerateFeatures(env.engine(), filtered, nullptr,
+                                   env.runtime());
+}
+
+runtime::RuntimeOptions HarnessRuntimeOptions(const ExperimentConfig& config) {
+  runtime::RuntimeOptions options = runtime::RuntimeOptions::FromEnv();
+  if (config.threads > 0) options.num_threads = config.threads;
+  return options;
 }
 
 /// A recommender wired to a throwaway personalizer, for experiments that
@@ -86,27 +93,37 @@ ExperimentEnv::ExperimentEnv(ExperimentConfig config)
     : config_(config),
       driver_({.num_templates = config.num_templates,
                .jobs_per_day = config.jobs_per_day,
-               .seed = config.seed}) {}
+               .seed = config.seed}),
+      runtime_(HarnessRuntimeOptions(config)) {}
 
 telemetry::WorkloadView ExperimentEnv::BuildDayView(
     int day, const sis::StatsInsightService* sis) const {
   telemetry::WorkloadView view;
   view.day = day;
-  for (const auto& job : driver_.DayJobs(day)) {
-    opt::RuleConfig config = sis != nullptr
-                                 ? sis->ConfigForTemplate(job.template_name)
-                                 : opt::RuleConfig::Default();
-    auto result = engine_.Run(job, config, static_cast<uint64_t>(day));
-    if (!result.ok()) {
-      // A hinted configuration may fail on a drifted occurrence; SCOPE falls
-      // back to the default configuration in that case.
-      result = engine_.Run(job, opt::RuleConfig::Default(),
-                           static_cast<uint64_t>(day));
-      if (!result.ok()) continue;
-    }
-    view.rows.push_back(
-        telemetry::MakeViewRow(job, result->compilation, result->metrics));
-  }
+  const std::vector<workload::JobInstance> jobs = driver_.DayJobs(day);
+  runtime::ForEachOrdered<Result<engine::JobRunResult>>(
+      &runtime_, jobs.size(),
+      [&](size_t i) { return static_cast<uint64_t>(jobs[i].template_id); },
+      [](size_t i) { return static_cast<double>(i); },
+      [&](size_t i) -> Result<engine::JobRunResult> {
+        const workload::JobInstance& job = jobs[i];
+        opt::RuleConfig config =
+            sis != nullptr ? sis->ConfigForTemplate(job.template_name)
+                           : opt::RuleConfig::Default();
+        auto result = engine_.Run(job, config, static_cast<uint64_t>(day));
+        if (!result.ok()) {
+          // A hinted configuration may fail on a drifted occurrence; SCOPE
+          // falls back to the default configuration in that case.
+          result = engine_.Run(job, opt::RuleConfig::Default(),
+                               static_cast<uint64_t>(day));
+        }
+        return result;
+      },
+      [&](size_t i, Result<engine::JobRunResult>&& result) {
+        if (!result.ok()) return;
+        view.rows.push_back(telemetry::MakeViewRow(
+            jobs[i], result->compilation, result->metrics));
+      });
   return view;
 }
 
@@ -378,7 +395,9 @@ AggregateImpactResult RunAggregateImpact(const ExperimentEnv& env,
   pipeline_config.recommender.uniform_probes_per_job = 3;
   pipeline_config.personalizer.retrain_interval = 128;
   pipeline_config.personalizer.epsilon = 0.15;
-  advisor::QoAdvisorPipeline pipeline(&env.engine(), &sis, pipeline_config);
+  // Borrow the harness's pool instead of spawning a second one.
+  advisor::QoAdvisorPipeline pipeline(&env.engine(), &sis, pipeline_config,
+                                      env.runtime());
 
   for (int day = 0; day < train_days; ++day) {
     telemetry::WorkloadView view = env.BuildDayView(day, &sis);
@@ -389,31 +408,58 @@ AggregateImpactResult RunAggregateImpact(const ExperimentEnv& env,
   double base_pn = 0, cand_pn = 0, base_lat = 0, cand_lat = 0;
   double base_vert = 0, cand_vert = 0;
   Rng rng(env.config().seed ^ 0xab1e);
+  // Collect the hint-matched evaluation jobs serially (the salt sequence
+  // must match the serial path: one Next() per matched job, in day/job
+  // order), then fan the paired A/B runs out across the pool.
+  struct EvalJob {
+    workload::JobInstance job;
+    opt::RuleConfig config;
+    uint64_t salt = 0;
+  };
+  std::vector<EvalJob> eval_jobs;
   for (int day = train_days; day < train_days + eval_days; ++day) {
     for (const auto& job : env.driver().DayJobs(day)) {
       auto hint = sis.LookupHint(job.template_name);
       if (!hint.has_value()) continue;
-      exec::JobMetrics base, cand;
-      if (!AbDeltas(env.engine(), job, hint->ToConfig(), rng.Next(), &base,
-                    &cand)) {
-        continue;
-      }
-      ++result.matched_jobs;
-      base_pn += base.pn_hours;
-      cand_pn += cand.pn_hours;
-      base_lat += base.latency_sec;
-      cand_lat += cand.latency_sec;
-      base_vert += base.vertices;
-      cand_vert += cand.vertices;
-      result.pn_deltas.push_back(
-          exec::RelativeDelta(cand.pn_hours, base.pn_hours));
-      result.latency_deltas.push_back(
-          exec::RelativeDelta(cand.latency_sec, base.latency_sec));
-      result.vertices_deltas.push_back(exec::RelativeDelta(
-          static_cast<double>(cand.vertices),
-          static_cast<double>(base.vertices)));
+      eval_jobs.push_back({job, hint->ToConfig(), rng.Next()});
     }
   }
+  struct AbOutcome {
+    bool ok = false;
+    exec::JobMetrics base;
+    exec::JobMetrics cand;
+  };
+  runtime::ForEachOrdered<AbOutcome>(
+      env.runtime(), eval_jobs.size(),
+      [&](size_t i) {
+        return static_cast<uint64_t>(eval_jobs[i].job.template_id);
+      },
+      [](size_t i) { return static_cast<double>(i); },
+      [&](size_t i) {
+        AbOutcome out;
+        out.ok = AbDeltas(env.engine(), eval_jobs[i].job, eval_jobs[i].config,
+                          eval_jobs[i].salt, &out.base, &out.cand);
+        return out;
+      },
+      [&](size_t, AbOutcome&& out) {
+        if (!out.ok) return;
+        const exec::JobMetrics& base = out.base;
+        const exec::JobMetrics& cand = out.cand;
+        ++result.matched_jobs;
+        base_pn += base.pn_hours;
+        cand_pn += cand.pn_hours;
+        base_lat += base.latency_sec;
+        cand_lat += cand.latency_sec;
+        base_vert += base.vertices;
+        cand_vert += cand.vertices;
+        result.pn_deltas.push_back(
+            exec::RelativeDelta(cand.pn_hours, base.pn_hours));
+        result.latency_deltas.push_back(
+            exec::RelativeDelta(cand.latency_sec, base.latency_sec));
+        result.vertices_deltas.push_back(exec::RelativeDelta(
+            static_cast<double>(cand.vertices),
+            static_cast<double>(base.vertices)));
+      });
   result.pn_hours_reduction = exec::RelativeDelta(cand_pn, base_pn);
   result.latency_reduction = exec::RelativeDelta(cand_lat, base_lat);
   result.vertices_reduction = exec::RelativeDelta(cand_vert, base_vert);
@@ -438,7 +484,8 @@ RandomVsCbResult RunRandomVsCb(const ExperimentEnv& env, int cb_train_days,
   rec_config.uniform_probes_per_job = 5;
   Recommender recommender(&env.engine(), &personalizer, rec_config);
   for (int day = 0; day < cb_train_days; ++day) {
-    recommender.RecommendDay(DayFeatures(env, day), day);
+    recommender.RecommendDay(DayFeatures(env, day), day, nullptr,
+                             env.runtime());
   }
   personalizer.Retrain();
 
@@ -518,12 +565,12 @@ CostFilterAblationResult RunCostFilterAblation(const ExperimentEnv& env,
     rec_config.prune_non_improving = with_filter;
     Recommender recommender(&env.engine(), &personalizer, rec_config);
     std::vector<Recommendation> recs =
-        recommender.RecommendDay(features, day);
+        recommender.RecommendDay(features, day, nullptr, env.runtime());
     *requested = recs.size();
     flight::FlightingConfig fc;
     fc.total_budget_machine_hours = budget_hours;
     fc.queue_capacity = 512;
-    flight::FlightingService flighting(&env.engine(), fc);
+    flight::FlightingService flighting(&env.engine(), fc, env.runtime());
     std::vector<flight::FlightRequest> requests;
     for (const auto& rec : recs) {
       flight::FlightRequest req;

@@ -12,6 +12,7 @@
 #include "core/pipeline.h"
 #include "engine/engine.h"
 #include "flighting/flighting.h"
+#include "runtime/runtime.h"
 #include "sis/sis.h"
 #include "telemetry/workload_view.h"
 #include "workload/workload.h"
@@ -23,6 +24,10 @@ struct ExperimentConfig {
   int jobs_per_day = 150;
   uint64_t seed = 2022;
   int aa_runs = 10;  ///< paper Sec. 5.1 runs each job 10 times
+  /// Worker threads for the experiment harness and any pipeline it drives.
+  /// 0 reads QO_THREADS from the environment (the bench binaries' knob);
+  /// 1 forces serial. Results are byte-identical for every value.
+  int threads = 0;
 };
 
 /// Shared environment: workload + engine + helpers to execute a day and
@@ -35,9 +40,18 @@ class ExperimentEnv {
   const ExperimentConfig& config() const { return config_; }
   const engine::ScopeEngine& engine() const { return engine_; }
   const workload::WorkloadDriver& driver() const { return driver_; }
+  /// The harness's parallel runtime (internally synchronized, hence usable
+  /// through a const env). Null is never returned.
+  runtime::ParallelRuntime* runtime() const { return &runtime_; }
+  /// Options to propagate into a pipeline config so RunDay shares the
+  /// harness's thread count.
+  const runtime::RuntimeOptions& runtime_options() const {
+    return runtime_.options();
+  }
 
   /// Executes every job of `day` (under SIS hints when provided) and builds
-  /// the view the offline pipeline ingests.
+  /// the view the offline pipeline ingests. Job executions fan out across
+  /// the runtime sharded by template; rows commit in job order.
   telemetry::WorkloadView BuildDayView(
       int day, const sis::StatsInsightService* sis = nullptr) const;
 
@@ -45,6 +59,7 @@ class ExperimentEnv {
   ExperimentConfig config_;
   workload::WorkloadDriver driver_;
   engine::ScopeEngine engine_;
+  mutable runtime::ParallelRuntime runtime_;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,8 +1,27 @@
 #include "flighting/flighting.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace qo::flight {
+
+namespace {
+
+/// A provisional (speculative) flight: `ran` records whether engine time was
+/// actually burned — and therefore reserved against the budget gate.
+struct Provisional {
+  FlightResult result;
+  bool ran = false;
+};
+
+FlightResult TimedOut(const std::string& job_id) {
+  FlightResult r;
+  r.outcome = FlightOutcome::kTimeout;
+  r.job_id = job_id;
+  return r;
+}
+
+}  // namespace
 
 const char* FlightOutcomeToString(FlightOutcome o) {
   switch (o) {
@@ -19,23 +38,29 @@ const char* FlightOutcomeToString(FlightOutcome o) {
 }
 
 FlightingService::FlightingService(const engine::ScopeEngine* engine,
-                                   FlightingConfig config)
-    : engine_(engine), config_(config), rng_(config.seed) {}
+                                   FlightingConfig config,
+                                   runtime::ParallelRuntime* runtime)
+    : engine_(engine),
+      config_(config),
+      runtime_(runtime),
+      gate_(config.total_budget_machine_hours) {}
 
-Result<FlightResult> FlightingService::FlightOne(const FlightRequest& request,
-                                                 uint64_t run_salt) {
-  if (budget_used_hours_ >= config_.total_budget_machine_hours) {
-    return Status::ResourceExhausted("flighting budget exhausted");
-  }
+FlightResult FlightingService::RunFlight(const FlightRequest& request,
+                                         uint64_t run_salt) const {
   FlightResult result;
   result.job_id = request.job.job_id;
 
+  // Per-flight RNG: environmental outcomes depend only on (seed, run_salt),
+  // never on how many flights ran before — the property that lets batches
+  // fan out without reordering anyone else's draws.
+  Rng rng(config_.seed + 0x9e3779b97f4a7c15ULL * (run_salt + 1));
+
   // Environmental failures happen before any machine time is spent.
-  if (rng_.Bernoulli(config_.failure_prob)) {
+  if (rng.Bernoulli(config_.failure_prob)) {
     result.outcome = FlightOutcome::kFailure;
     return result;
   }
-  if (rng_.Bernoulli(config_.filtered_prob)) {
+  if (rng.Bernoulli(config_.filtered_prob)) {
     result.outcome = FlightOutcome::kFiltered;
     return result;
   }
@@ -52,9 +77,7 @@ Result<FlightResult> FlightingService::FlightOne(const FlightRequest& request,
   }
   result.baseline = base->metrics;
   result.candidate = cand->metrics;
-  result.machine_hours =
-      base->metrics.pn_hours + cand->metrics.pn_hours;
-  budget_used_hours_ += result.machine_hours;
+  result.machine_hours = base->metrics.pn_hours + cand->metrics.pn_hours;
 
   double hours = std::max(base->metrics.latency_sec,
                           cand->metrics.latency_sec) /
@@ -78,6 +101,22 @@ Result<FlightResult> FlightingService::FlightOne(const FlightRequest& request,
   return result;
 }
 
+Result<FlightResult> FlightingService::FlightOne(const FlightRequest& request,
+                                                 uint64_t run_salt) {
+  if (gate_.Exhausted()) {
+    return Status::ResourceExhausted("flighting budget exhausted");
+  }
+  FlightResult result = RunFlight(request, run_salt);
+  if (result.outcome == FlightOutcome::kFailure ||
+      result.outcome == FlightOutcome::kFiltered) {
+    return result;  // no machine time consumed
+  }
+  // Legacy admission: the pre-check above gates entry, the actual hours land
+  // here — the final flight may overshoot the cap by its own size.
+  gate_.Spend(result.machine_hours);
+  return result;
+}
+
 std::vector<FlightResult> FlightingService::FlightBatch(
     std::vector<FlightRequest> requests, uint64_t run_salt) {
   // Fixed-size queue: excess requests are dropped up front.
@@ -90,20 +129,60 @@ std::vector<FlightResult> FlightingService::FlightBatch(
                    [](const FlightRequest& a, const FlightRequest& b) {
                      return a.est_cost_delta < b.est_cost_delta;
                    });
+  const size_t n = requests.size();
   std::vector<FlightResult> results;
-  results.reserve(requests.size());
-  for (size_t i = 0; i < requests.size(); ++i) {
-    auto r = FlightOne(requests[i], run_salt + i);
-    if (!r.ok()) {
-      // Budget exhausted: everything left reports as timeout.
-      FlightResult timed_out;
-      timed_out.outcome = FlightOutcome::kTimeout;
-      timed_out.job_id = requests[i].job.job_id;
-      results.push_back(std::move(timed_out));
-      continue;
+  results.reserve(n);
+
+  // Worker side: speculative flights. Committed budget is monotone within a
+  // batch, so once the gate is exhausted the in-order commit below is
+  // certain to reject this request — skip the engine work entirely. Engine
+  // hours burned speculatively are held as a reservation until settled.
+  auto work = [&](size_t i) -> Provisional {
+    Provisional p;
+    if (gate_.Exhausted()) {
+      p.result = TimedOut(requests[i].job.job_id);
+      return p;
     }
-    results.push_back(std::move(r).value());
-  }
+    p.result = RunFlight(requests[i], run_salt + i);
+    if (p.result.outcome == FlightOutcome::kSuccess ||
+        p.result.outcome == FlightOutcome::kTimeout) {
+      p.ran = true;
+      gate_.Reserve(p.result.machine_hours);
+    }
+    return p;
+  };
+
+  // Commit side (calling thread, strict submission order): budget admission.
+  // Mirrors FlightOne's ordering — budget pre-check first, then
+  // environmental outcomes (which spend nothing), then strict admission of
+  // the actual hours so committed spend never exceeds the cap.
+  auto commit = [&](size_t i, Provisional&& p) {
+    if (gate_.Exhausted()) {
+      if (p.ran) gate_.Refund(p.result.machine_hours);
+      results.push_back(TimedOut(requests[i].job.job_id));
+      return;
+    }
+    if (!p.ran) {  // environmental failure or filtered: refunded up front
+      results.push_back(std::move(p.result));
+      return;
+    }
+    if (!gate_.CommitReserved(p.result.machine_hours)) {
+      // Admitting this flight would overspend the budget.
+      results.push_back(TimedOut(requests[i].job.job_id));
+      return;
+    }
+    results.push_back(std::move(p.result));
+  };
+
+  runtime::ForEachOrdered<Provisional>(
+      runtime_, n,
+      [&](size_t i) {
+        return static_cast<uint64_t>(requests[i].job.template_id);
+      },
+      // Queue priority = the request's cost delta, so dispatch against other
+      // work sharing the pool also runs most-promising-first (ties fall back
+      // to the sorted submission order).
+      [&](size_t i) { return requests[i].est_cost_delta; }, work, commit);
   return results;
 }
 
@@ -117,7 +196,7 @@ Result<std::vector<exec::JobMetrics>> FlightingService::RunAA(
   for (int i = 0; i < runs; ++i) {
     exec::JobMetrics m =
         engine_->Execute(job, compiled.plan, run_salt * 1000 + i);
-    budget_used_hours_ += m.pn_hours;
+    gate_.Spend(m.pn_hours);
     metrics.push_back(m);
   }
   return metrics;

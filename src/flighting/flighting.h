@@ -8,6 +8,13 @@
 //   (2) a total machine-hour budget,
 //   (3) the four paper outcomes: failure (e.g. expired inputs), timeout,
 //       filtered (unsupported job classes), success.
+//
+// FlightBatch has an asynchronous path: when constructed with a
+// ParallelRuntime, the A/B flights fan out across the pool (sharded by
+// template id) while budget admission happens at an ordered commit on the
+// calling thread. Each flight's environmental draws come from a per-flight
+// RNG derived from (config.seed, run_salt), so a flight is a pure function
+// of its request — parallel batches are byte-identical to serial ones.
 #ifndef QO_FLIGHTING_FLIGHTING_H_
 #define QO_FLIGHTING_FLIGHTING_H_
 
@@ -19,6 +26,8 @@
 #include "engine/engine.h"
 #include "exec/metrics.h"
 #include "optimizer/rules.h"
+#include "runtime/budget_gate.h"
+#include "runtime/runtime.h"
 #include "workload/template_gen.h"
 
 namespace qo::flight {
@@ -26,7 +35,7 @@ namespace qo::flight {
 enum class FlightOutcome {
   kSuccess,
   kFailure,   ///< job information or input data expired
-  kTimeout,   ///< exceeded the per-job flighting time cap
+  kTimeout,   ///< exceeded the per-job time cap, or budget ran out first
   kFiltered,  ///< job class not supported by the service
 };
 
@@ -72,17 +81,23 @@ struct FlightingConfig {
 /// hour budget runs out.
 class FlightingService {
  public:
+  /// `runtime` may be null (serial). The service does not own it.
   FlightingService(const engine::ScopeEngine* engine,
-                   FlightingConfig config = {});
+                   FlightingConfig config = {},
+                   runtime::ParallelRuntime* runtime = nullptr);
 
   /// Flights one request now (ignores the queue; still consumes budget).
-  /// ResourceExhausted when the budget is already spent.
+  /// ResourceExhausted when the budget is already spent. Legacy admission:
+  /// the pre-check may let the final flight overshoot the budget cap.
   Result<FlightResult> FlightOne(const FlightRequest& request,
                                  uint64_t run_salt);
 
   /// Accepts up to queue_capacity requests, orders them by estimated-cost
-  /// delta (most promising first, Sec. 4.3), and flights until the budget is
-  /// exhausted. Requests that never ran are reported as kTimeout.
+  /// delta (most promising first, Sec. 4.3), and flights until the machine-
+  /// hour budget runs out; requests that never ran report kTimeout. Flights
+  /// fan out across the runtime's pool when one is attached; admission is
+  /// decided at an ordered commit, so results are byte-identical for any
+  /// thread count and committed spend never exceeds the budget.
   std::vector<FlightResult> FlightBatch(std::vector<FlightRequest> requests,
                                         uint64_t run_salt);
 
@@ -91,19 +106,26 @@ class FlightingService {
       const workload::JobInstance& job, const opt::RuleConfig& config,
       int runs, uint64_t run_salt);
 
-  double budget_used_hours() const { return budget_used_hours_; }
+  double budget_used_hours() const { return gate_.committed(); }
   double budget_remaining_hours() const {
-    return config_.total_budget_machine_hours - budget_used_hours_;
+    return config_.total_budget_machine_hours - gate_.committed();
   }
-  void ResetBudget() { budget_used_hours_ = 0.0; }
+  void ResetBudget() { gate_.Reset(); }
 
   const FlightingConfig& config() const { return config_; }
+  const runtime::BudgetGate& budget_gate() const { return gate_; }
 
  private:
+  /// The pure flight computation: environmental draws + both engine arms,
+  /// no budget interaction. Thread-safety: const and deterministic per
+  /// (request, run_salt) — safe to call concurrently.
+  FlightResult RunFlight(const FlightRequest& request,
+                         uint64_t run_salt) const;
+
   const engine::ScopeEngine* engine_;
   FlightingConfig config_;
-  Rng rng_;
-  double budget_used_hours_ = 0.0;
+  runtime::ParallelRuntime* runtime_;
+  runtime::BudgetGate gate_;
 };
 
 }  // namespace qo::flight

@@ -1,0 +1,58 @@
+#include "runtime/budget_gate.h"
+
+#include <algorithm>
+
+namespace qo::runtime {
+
+double BudgetGate::committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_;
+}
+
+double BudgetGate::reserved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_;
+}
+
+bool BudgetGate::Admissible() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_ < capacity_;
+}
+
+void BudgetGate::Reserve(double hours) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reserved_ += hours;
+}
+
+void BudgetGate::Refund(double hours) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reserved_ = std::max(0.0, reserved_ - hours);
+}
+
+bool BudgetGate::CommitReserved(double hours) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reserved_ = std::max(0.0, reserved_ - hours);
+  if (committed_ + hours > capacity_) return false;
+  committed_ += hours;
+  return true;
+}
+
+bool BudgetGate::TrySpend(double hours) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (committed_ + hours > capacity_) return false;
+  committed_ += hours;
+  return true;
+}
+
+void BudgetGate::Spend(double hours) {
+  std::lock_guard<std::mutex> lock(mu_);
+  committed_ += hours;
+}
+
+void BudgetGate::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  committed_ = 0.0;
+  reserved_ = 0.0;
+}
+
+}  // namespace qo::runtime

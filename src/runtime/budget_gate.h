@@ -1,0 +1,78 @@
+// Thread-safe machine-hour budget arbiter for budget-aware admission
+// (paper Sec. 4.3: the flighting service runs under a constrained total
+// machine-hour budget).
+//
+// Hours move through three states:
+//
+//   reserve  — a worker holds hours for speculative in-flight work
+//              (reserved at dequeue);
+//   commit   — the hours were genuinely spent and count against capacity;
+//   refund   — the reservation is released without spending (environmental
+//              failure, filtered job, or admission rejected).
+//
+// Admission through CommitReserved/TrySpend is strict: committed spend
+// never exceeds capacity. Spend() is the legacy single-flight path
+// (admission is a pre-check, the actual hours land afterwards), which may
+// overshoot capacity by at most one flight.
+//
+// Reservations are deliberately *observability only* — admission ignores
+// reserved_ by design. Reservations are made by workers in timing-dependent
+// order, so letting them gate admission would make results depend on thread
+// interleaving; deterministic admission must read only committed_, which
+// advances solely at the ordered commit. The cost is bounded speculation:
+// up to one in-flight task per worker may run past the cap and be refunded.
+//
+// Thread-safety: all methods are safe to call concurrently. committed() is
+// monotonically non-decreasing between Reset() calls — callers exploit this
+// for deterministic early-skip (once Exhausted(), always Exhausted()).
+#ifndef QO_RUNTIME_BUDGET_GATE_H_
+#define QO_RUNTIME_BUDGET_GATE_H_
+
+#include <mutex>
+
+namespace qo::runtime {
+
+class BudgetGate {
+ public:
+  explicit BudgetGate(double capacity_hours) : capacity_(capacity_hours) {}
+
+  double capacity() const { return capacity_; }
+  double committed() const;
+  double reserved() const;
+
+  /// Legacy pre-check admission: true while any budget remains.
+  bool Admissible() const;
+  bool Exhausted() const { return !Admissible(); }
+
+  /// Holds `hours` for in-flight speculative work.
+  void Reserve(double hours);
+
+  /// Releases a reservation without spending.
+  void Refund(double hours);
+
+  /// Releases the reservation and commits it iff the spend fits:
+  /// requires committed + hours <= capacity. Returns whether the hours were
+  /// committed (false = refused, reservation refunded, nothing spent).
+  bool CommitReserved(double hours);
+
+  /// Strict spend without a prior reservation; same admission rule as
+  /// CommitReserved.
+  bool TrySpend(double hours);
+
+  /// Unchecked spend: always lands, may overshoot capacity (legacy
+  /// FlightOne/RunAA semantics where admission is a pre-check).
+  void Spend(double hours);
+
+  /// Zeroes committed and reserved hours.
+  void Reset();
+
+ private:
+  const double capacity_;
+  mutable std::mutex mu_;
+  double committed_ = 0.0;
+  double reserved_ = 0.0;
+};
+
+}  // namespace qo::runtime
+
+#endif  // QO_RUNTIME_BUDGET_GATE_H_

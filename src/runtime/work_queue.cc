@@ -1,0 +1,72 @@
+#include "runtime/work_queue.h"
+
+#include <algorithm>
+
+namespace qo::runtime {
+
+ShardedWorkQueue::ShardedWorkQueue(int num_shards)
+    : shards_(static_cast<size_t>(std::max(1, num_shards))) {}
+
+void ShardedWorkQueue::IndexHead(int shard) {
+  const Shard& s = shards_[static_cast<size_t>(shard)];
+  if (s.busy || s.tasks.empty()) return;
+  const auto& [key, fn] = *s.tasks.begin();
+  ready_.emplace(key.first, key.second, shard);
+}
+
+uint64_t ShardedWorkQueue::Push(uint64_t shard_key, double priority,
+                                std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int shard = static_cast<int>(shard_key % shards_.size());
+  Shard& s = shards_[static_cast<size_t>(shard)];
+  uint64_t seq = next_seq_++;
+  // The new task may displace the shard's head in the ready index.
+  if (!s.busy && !s.tasks.empty()) {
+    const auto& head = s.tasks.begin()->first;
+    ready_.erase({head.first, head.second, shard});
+  }
+  s.tasks.emplace(std::make_pair(priority, seq), std::move(fn));
+  ++pending_;
+  IndexHead(shard);
+  cv_.notify_one();
+  return seq;
+}
+
+std::optional<ShardedWorkQueue::Lease> ShardedWorkQueue::PopBlocking() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !ready_.empty() || (closed_ && pending_ == 0); });
+  if (ready_.empty()) return std::nullopt;  // closed and drained
+  auto [priority, seq, shard] = *ready_.begin();
+  ready_.erase(ready_.begin());
+  Shard& s = shards_[static_cast<size_t>(shard)];
+  s.busy = true;
+  Lease lease;
+  lease.shard = shard;
+  lease.fn = std::move(s.tasks.begin()->second);
+  s.tasks.erase(s.tasks.begin());
+  --pending_;
+  return lease;
+}
+
+void ShardedWorkQueue::Release(int shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Shard& s = shards_[static_cast<size_t>(shard)];
+  s.busy = false;
+  IndexHead(shard);
+  // Wake a worker for the released shard's head, or everyone at shutdown so
+  // drained workers can exit.
+  if (!s.tasks.empty() || closed_) cv_.notify_all();
+}
+
+void ShardedWorkQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+size_t ShardedWorkQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+}  // namespace qo::runtime

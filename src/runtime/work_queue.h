@@ -1,0 +1,95 @@
+// A sharded, priority-ordered work queue: the scheduling core of the
+// deterministic parallel runtime (mirroring the production QO-Advisor, which
+// runs recompilation and flighting as services over a shared queue rather
+// than as a single-threaded loop — paper Secs. 2.5 and 4.3).
+//
+// Tasks are submitted with a shard key and a priority. The queue guarantees:
+//
+//   (1) Shard exclusion: tasks sharing a shard (key modulo shard count)
+//       never run concurrently. Callers shard by template id, so any
+//       per-template state downstream of a task can never race.
+//   (2) Shard order: within a shard, tasks run in ascending
+//       (priority, submission sequence) order.
+//   (3) Best-first dispatch: across shards, a worker always picks the
+//       eligible task with the lowest (priority, submission sequence) —
+//       "most promising first", the flighting service's cost-delta ordering.
+//
+// The queue is a dispatch mechanism only: it promises nothing about
+// *completion* order. Deterministic result ordering is layered on top by
+// ParallelRuntime::ForEachOrdered, which commits results in submission
+// order on the calling thread.
+#ifndef QO_RUNTIME_WORK_QUEUE_H_
+#define QO_RUNTIME_WORK_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace qo::runtime {
+
+/// Thread-safe sharded priority queue of void() tasks.
+class ShardedWorkQueue {
+ public:
+  /// A popped task plus the shard it checked out. The caller must run `fn`
+  /// and then call Release(shard) to make the shard's remaining tasks
+  /// eligible again.
+  struct Lease {
+    std::function<void()> fn;
+    int shard = -1;
+  };
+
+  explicit ShardedWorkQueue(int num_shards = 16);
+
+  /// Enqueues `fn` under `shard_key` (reduced modulo the shard count).
+  /// Lower `priority` values dispatch first; ties break by submission order.
+  /// Returns the task's global submission sequence number.
+  uint64_t Push(uint64_t shard_key, double priority, std::function<void()> fn);
+
+  /// Blocks until a task whose shard is not checked out becomes available,
+  /// then checks the shard out and returns the task. Returns nullopt once
+  /// the queue is closed and fully drained.
+  std::optional<Lease> PopBlocking();
+
+  /// Returns a shard checked out by PopBlocking, waking waiters if the
+  /// shard still has pending tasks.
+  void Release(int shard);
+
+  /// Wakes all blocked workers; PopBlocking returns nullopt once the
+  /// remaining tasks are drained.
+  void Close();
+
+  /// Tasks submitted but not yet popped.
+  size_t pending() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard {
+    bool busy = false;
+    /// (priority, sequence) -> task; begin() is the shard's head.
+    std::map<std::pair<double, uint64_t>, std::function<void()>> tasks;
+  };
+
+  /// Re-inserts `shard`'s head task into the ready index. Caller holds mu_.
+  void IndexHead(int shard);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Shard> shards_;
+  /// Best-first index over heads of non-busy, non-empty shards:
+  /// (priority, sequence, shard index).
+  std::set<std::tuple<double, uint64_t, int>> ready_;
+  uint64_t next_seq_ = 0;
+  size_t pending_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace qo::runtime
+
+#endif  // QO_RUNTIME_WORK_QUEUE_H_

@@ -42,6 +42,8 @@ class Catalog {
   void RegisterTable(const std::string& path, TableStats stats);
 
   /// Looks up stats; NotFound if the path was never registered.
+  /// Thread-safety: const read; safe to call concurrently as long as no
+  /// thread is calling RegisterTable (the runtime only reads catalogs).
   Result<const TableStats*> Lookup(const std::string& path) const;
 
   bool Has(const std::string& path) const {
