@@ -24,8 +24,9 @@ int main() {
     if (!span.ok() || span->span.None()) continue;
     ++jobs;
     for (Arm& arm : arms) {
-      auto result =
-          advisor::GreedyMultiFlip(env.engine(), job, span->span, arm.horizon);
+      auto result = advisor::GreedyMultiFlip(
+          env.engine(), job, span->span, arm.horizon,
+          /*min_relative_gain=*/1e-3, span->default_compilation);
       if (!result.ok()) continue;
       if (!result->flips.empty()) {
         ++arm.improved;

@@ -76,6 +76,60 @@ void BM_SpanComputation(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanComputation);
 
+// --- Two-level compilation cache (src/cache/): cached vs uncached pairs.
+// The cached variants measure the steady state of the daily pipeline, where
+// every stage after the first compiles each (job, config) from cache.
+
+cache::CompileCacheOptions CacheOptions(bool enabled) {
+  cache::CompileCacheOptions options;
+  options.enabled = enabled;
+  return options;
+}
+
+void BM_CompileFrontEndUncached(benchmark::State& state) {
+  engine::ScopeEngine engine({}, {}, CacheOptions(false));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto plan = engine.CompileFrontEnd(Jobs()[i % Jobs().size()]);
+    benchmark::DoNotOptimize(plan);
+    ++i;
+  }
+}
+BENCHMARK(BM_CompileFrontEndUncached);
+
+void BM_CompileFrontEndCached(benchmark::State& state) {
+  engine::ScopeEngine engine({}, {}, CacheOptions(true));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto plan = engine.CompileFrontEnd(Jobs()[i % Jobs().size()]);
+    benchmark::DoNotOptimize(plan);
+    ++i;
+  }
+}
+BENCHMARK(BM_CompileFrontEndCached);
+
+void BM_SpanFixpointUncached(benchmark::State& state) {
+  engine::ScopeEngine engine({}, {}, CacheOptions(false));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto span = advisor::ComputeJobSpan(engine, Jobs()[i % Jobs().size()]);
+    benchmark::DoNotOptimize(span);
+    ++i;
+  }
+}
+BENCHMARK(BM_SpanFixpointUncached);
+
+void BM_SpanFixpointCached(benchmark::State& state) {
+  engine::ScopeEngine engine({}, {}, CacheOptions(true));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto span = advisor::ComputeJobSpan(engine, Jobs()[i % Jobs().size()]);
+    benchmark::DoNotOptimize(span);
+    ++i;
+  }
+}
+BENCHMARK(BM_SpanFixpointCached);
+
 void BM_PersonalizerRank(benchmark::State& state) {
   bandit::PersonalizerService service({.seed = 3});
   bandit::JobContext ctx;
@@ -155,7 +209,7 @@ void BM_ParallelFeatureGen(benchmark::State& state) {
       auto run = build_engine.Run(job, opt::RuleConfig::Default(), 0);
       if (!run.ok()) continue;
       v->rows.push_back(
-          telemetry::MakeViewRow(job, run->compilation, run->metrics));
+          telemetry::MakeViewRow(job, *run->compilation, run->metrics));
     }
     return v;
   }();

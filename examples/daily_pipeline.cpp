@@ -74,5 +74,9 @@ int main(int argc, char** argv) {
   if (shown == 0) {
     std::printf("  (no hint matched on day %d — try more days)\n", days);
   }
+
+  // How much recompilation the two-level cache absorbed across the run.
+  std::printf("\n%s",
+              env.engine().compile_cache_telemetry().ToString().c_str());
   return 0;
 }

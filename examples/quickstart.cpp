@@ -64,10 +64,10 @@ int main() {
     return 1;
   }
   std::printf("--- default plan (est cost %.3f) ---\n%s\n",
-              base->compilation.est_cost,
-              base->compilation.plan.ToString().c_str());
+              base->compilation->est_cost,
+              base->compilation->plan.ToString().c_str());
   std::printf("rule signature bits: ");
-  for (int bit : base->compilation.signature.Positions()) {
+  for (int bit : base->compilation->signature.Positions()) {
     std::printf("%d ", bit);
   }
   std::printf("\nmetrics: %s\n\n", base->metrics.ToString().c_str());
@@ -82,8 +82,8 @@ int main() {
     return 1;
   }
   std::printf("--- steered plan (est cost %.3f) ---\n%s\n",
-              steered->compilation.est_cost,
-              steered->compilation.plan.ToString().c_str());
+              steered->compilation->est_cost,
+              steered->compilation->plan.ToString().c_str());
   std::printf("metrics: %s\n\n", steered->metrics.ToString().c_str());
   std::printf("PNhours delta: %+.1f%%   latency delta: %+.1f%%   "
               "vertices delta: %+.1f%%\n",

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
                 job.template_name.c_str());
     std::printf("script:\n%s\n", job.script.c_str());
     std::printf("default est cost: %.3f, span size: %d (%d iterations)\n\n",
-                span->default_compilation.est_cost, span->span.Count(),
+                span->default_compilation->est_cost, span->span.Count(),
                 span->iterations);
 
     // Evaluate every flip in the span.
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
                   100.0 * best_delta);
       auto compiled = engine.Compile(job, best.ToConfig());
       std::printf("\n--- default plan ---\n%s\n--- steered plan ---\n%s",
-                  span->default_compilation.plan.ToString().c_str(),
+                  span->default_compilation->plan.ToString().c_str(),
                   compiled.ok() ? compiled->plan.ToString().c_str() : "?");
     } else {
       std::printf("\nno estimated-cost-improving flip for this job\n");

@@ -16,8 +16,11 @@ Rules:
     baseline * (1 + tolerance).
   * Benches faster than the floor (--min-seconds / --micro-min-seconds) in
     the baseline are reported but never fail the gate — too noisy.
-  * Entries present on only one side are reported as added/removed, never a
-    failure (new benchmarks land before their baseline refresh).
+  * Entries present on only one side are WARNED about on stderr but do not
+    fail the gate by themselves (new benchmarks land before their baseline
+    refresh; removals should be followed by one). Exception: a fresh-only
+    figure bench with a nonzero exit code is a regression — a brand-new
+    bench that crashes must not slide through as merely "added".
 
 Exit codes: 0 = no regression, 1 = regression, 2 = bad input.
 """
@@ -84,6 +87,7 @@ def main():
     baseline = load(args.baseline)
     fresh = load(args.fresh)
     regressions = []
+    warnings = []
     rows = []
 
     def record(kind, name, base_s, fresh_s, gated, note=""):
@@ -106,10 +110,21 @@ def main():
     fresh_figs = fresh["figure_benches"]
     for name in sorted(set(base_figs) | set(fresh_figs)):
         if name not in fresh_figs:
+            warnings.append(f"figure {name}: in baseline only (removed? "
+                            f"refresh the baseline)")
             rows.append(("figure", name, base_figs[name]["wall_seconds"],
                          float("nan"), 0.0, "removed"))
             continue
         if name not in base_figs:
+            exit_code = fresh_figs[name].get("exit_code", 0)
+            if exit_code != 0:
+                regressions.append(f"figure {name}: new bench exits with "
+                                   f"code {exit_code}")
+                rows.append(("figure", name, float("nan"),
+                             fresh_figs[name]["wall_seconds"], 0.0, "EXIT!=0"))
+                continue
+            warnings.append(f"figure {name}: in fresh only (new bench — "
+                            f"refresh the baseline)")
             rows.append(("figure", name, float("nan"),
                          fresh_figs[name]["wall_seconds"], 0.0, "added"))
             continue
@@ -128,10 +143,14 @@ def main():
     fresh_micro = micro_by_name(fresh)
     for name in sorted(set(base_micro) | set(fresh_micro)):
         if name not in fresh_micro:
+            warnings.append(f"micro {name}: in baseline only (removed? "
+                            f"refresh the baseline)")
             rows.append(("micro", name, micro_seconds(base_micro[name]),
                          float("nan"), 0.0, "removed"))
             continue
         if name not in base_micro:
+            warnings.append(f"micro {name}: in fresh only (new bench — "
+                            f"refresh the baseline)")
             rows.append(("micro", name, float("nan"),
                          micro_seconds(fresh_micro[name]), 0.0, "added"))
             continue
@@ -148,6 +167,11 @@ def main():
         print(f"{kind:6} {name:44} {base_txt:>10} {fresh_txt:>10} "
               f"{delta:+7.1%}  {status}")
 
+    if warnings:
+        print(f"\n{len(warnings)} warning(s): benches present on one side "
+              f"only:", file=sys.stderr)
+        for w in warnings:
+            print(f"  warning: {w}", file=sys.stderr)
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
               f"{args.tolerance:.0%} tolerance:", file=sys.stderr)

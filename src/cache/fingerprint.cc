@@ -1,0 +1,34 @@
+#include "cache/fingerprint.h"
+
+namespace qo::cache {
+
+uint64_t OptimizerOptionsFingerprint(const opt::OptimizerOptions& options) {
+  // CostParams is a flat POD of doubles; hash it field-by-field (not by
+  // memcpy of the struct) so padding can never leak into the fingerprint.
+  const opt::CostParams& c = options.cost_params;
+  const double fields[] = {
+      static_cast<double>(options.max_exprs_per_group),
+      options.broadcast_threshold_bytes,
+      options.broadcast_threshold_aggressive_bytes,
+      c.scan_byte,
+      c.scan_row,
+      c.filter_row,
+      c.project_row,
+      c.hash_build_row,
+      c.hash_probe_row,
+      c.sort_row_log,
+      c.merge_row,
+      c.agg_row,
+      c.agg_group,
+      c.union_row,
+      c.output_byte,
+      c.shuffle_byte,
+      c.broadcast_byte,
+      c.partition_overhead,
+  };
+  uint64_t h = 0x5161e1a7c0de0001ULL;  // domain-separates from other hashes
+  for (double f : fields) h = HashDouble(f, h);
+  return MixHash(h);
+}
+
+}  // namespace qo::cache

@@ -1,0 +1,26 @@
+// Deterministic fingerprints for the compilation-cache keys.
+//
+// A cache entry is only valid while every compile input it was derived from
+// is unchanged, so keys are built from content hashes (common/hash.h): the
+// rendered script text, the per-occurrence catalog statistics
+// (Catalog::StatsFingerprint), and the engine's optimizer options. There is
+// no explicit invalidation — drifted statistics or an edited script change
+// the fingerprint and simply miss (the stale entry ages out of the LRU).
+#ifndef QO_CACHE_FINGERPRINT_H_
+#define QO_CACHE_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+#include "optimizer/optimizer.h"
+
+namespace qo::cache {
+
+/// Fingerprint of everything in OptimizerOptions that can change a
+/// compilation result. Folded into every cache key so engines with different
+/// options can never alias, even if they ever share a cache.
+uint64_t OptimizerOptionsFingerprint(const opt::OptimizerOptions& options);
+
+}  // namespace qo::cache
+
+#endif  // QO_CACHE_FINGERPRINT_H_

@@ -1,0 +1,58 @@
+// Shared content-hash primitives: FNV-1a chaining plus a splitmix64
+// avalanche. Used by the catalog stats fingerprint (src/scope/) and the
+// compilation-cache keys (src/cache/) — one definition, so the two sides of
+// a fingerprint can never drift apart.
+#ifndef QO_COMMON_HASH_H_
+#define QO_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace qo {
+
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+
+/// FNV-1a over a byte range, chained through `seed`.
+inline uint64_t HashBytes(const void* data, size_t n,
+                          uint64_t seed = kFnvOffsetBasis) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(const std::string& s,
+                           uint64_t seed = kFnvOffsetBasis) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+inline uint64_t HashU64(uint64_t v, uint64_t seed) {
+  return HashBytes(&v, sizeof(v), seed);
+}
+
+inline uint64_t HashDouble(double v, uint64_t seed) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return HashU64(bits, seed);
+}
+
+/// Final avalanche (splitmix64 tail): spreads FNV's weak low bits before a
+/// hash is used for shard selection or order-independent (+) combination.
+inline uint64_t MixHash(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace qo
+
+#endif  // QO_COMMON_HASH_H_

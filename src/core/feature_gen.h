@@ -5,6 +5,7 @@
 #ifndef QO_CORE_FEATURE_GEN_H_
 #define QO_CORE_FEATURE_GEN_H_
 
+#include <memory>
 #include <vector>
 
 #include "bandit/features.h"
@@ -21,7 +22,8 @@ namespace qo::advisor {
 struct JobFeatures {
   telemetry::WorkloadViewRow row;
   BitVector256 span;
-  opt::CompilationOutput default_compilation;
+  /// Shared with the engine's compilation cache (immutable).
+  std::shared_ptr<const opt::CompilationOutput> default_compilation;
 
   /// The bandit context built from the span and Table 1 features.
   bandit::JobContext ToContext() const {

@@ -2,15 +2,17 @@
 
 namespace qo::advisor {
 
-Result<MultiFlipResult> GreedyMultiFlip(const engine::ScopeEngine& engine,
-                                        const workload::JobInstance& job,
-                                        const BitVector256& span, int horizon,
-                                        double min_relative_gain) {
+Result<MultiFlipResult> GreedyMultiFlip(
+    const engine::ScopeEngine& engine, const workload::JobInstance& job,
+    const BitVector256& span, int horizon, double min_relative_gain,
+    std::shared_ptr<const opt::CompilationOutput> default_compilation) {
   MultiFlipResult result;
-  QO_ASSIGN_OR_RETURN(opt::CompilationOutput base,
-                      engine.Compile(job, opt::RuleConfig::Default()));
-  result.est_cost_default = base.est_cost;
-  result.est_cost_final = base.est_cost;
+  if (default_compilation == nullptr) {
+    QO_ASSIGN_OR_RETURN(default_compilation,
+                        engine.CompileShared(job, opt::RuleConfig::Default()));
+  }
+  result.est_cost_default = default_compilation->est_cost;
+  result.est_cost_final = default_compilation->est_cost;
 
   opt::RuleConfig current = opt::RuleConfig::Default();
   BitVector256 remaining = span;
@@ -20,11 +22,11 @@ Result<MultiFlipResult> GreedyMultiFlip(const engine::ScopeEngine& engine,
     for (int bit : remaining.Positions()) {
       opt::RuleConfig candidate = current;
       candidate.Flip(bit);
-      auto compiled = engine.Compile(job, candidate);
+      auto compiled = engine.CompileShared(job, candidate);
       if (!compiled.ok()) continue;  // this flip breaks compilation; skip
-      if (compiled->est_cost <
+      if ((*compiled)->est_cost <
           best_cost * (1.0 - min_relative_gain)) {
-        best_cost = compiled->est_cost;
+        best_cost = (*compiled)->est_cost;
         best_flip = bit;
       }
     }

@@ -12,6 +12,7 @@
 #ifndef QO_CORE_MULTI_FLIP_H_
 #define QO_CORE_MULTI_FLIP_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/bitvector.h"
@@ -42,11 +43,16 @@ struct MultiFlipResult {
 /// Greedy multi-flip search over `span` with the given episode horizon.
 /// `min_relative_gain` is the per-step improvement required to keep going
 /// (guards against chasing cost-model noise).
-Result<MultiFlipResult> GreedyMultiFlip(const engine::ScopeEngine& engine,
-                                        const workload::JobInstance& job,
-                                        const BitVector256& span,
-                                        int horizon = 3,
-                                        double min_relative_gain = 1e-3);
+///
+/// `default_compilation` lets callers that already compiled the default
+/// configuration (every SpanResult holds it) seed the episode without a
+/// redundant recompile; null compiles it through the engine's cache.
+Result<MultiFlipResult> GreedyMultiFlip(
+    const engine::ScopeEngine& engine, const workload::JobInstance& job,
+    const BitVector256& span, int horizon = 3,
+    double min_relative_gain = 1e-3,
+    std::shared_ptr<const opt::CompilationOutput> default_compilation =
+        nullptr);
 
 }  // namespace qo::advisor
 

@@ -26,21 +26,38 @@ struct FlipEval {
   double reward = 1.0;
 };
 
+/// The default-configuration estimated cost of a job. JobFeatures built by
+/// GenerateFeatures always carry the span's default compilation; features
+/// assembled by hand (tools, tests) may leave it null, in which case this
+/// compiles the default through the engine's cache (an O(1) hit whenever
+/// the span was ever computed). 0.0 when even the default fails to compile.
+double DefaultEstCost(const engine::ScopeEngine& engine,
+                      const JobFeatures& job) {
+  if (job.default_compilation != nullptr) {
+    return job.default_compilation->est_cost;
+  }
+  auto compiled =
+      engine.CompileShared(job.row.instance, opt::RuleConfig::Default());
+  return compiled.ok() ? (*compiled)->est_cost : 0.0;
+}
+
 FlipEval EvaluateFlipCore(const engine::ScopeEngine& engine,
                           double reward_clip, const JobFeatures& job,
                           int rule_id) {
   FlipEval e;
-  double est_cost_default = job.default_compilation.est_cost;
+  double est_cost_default = DefaultEstCost(engine, job);
   e.enable = !opt::RuleConfig::Default().IsEnabled(rule_id);
-  auto recompiled = engine.Compile(job.row.instance,
-                                   opt::RuleConfig::DefaultWithFlip(rule_id));
+  // CompileShared: a repeated evaluation of this flip (across pre-evaluation,
+  // the bandit loop and later experiment passes) is an O(1) cache hit.
+  auto recompiled = engine.CompileShared(
+      job.row.instance, opt::RuleConfig::DefaultWithFlip(rule_id));
   if (!recompiled.ok()) {
     e.outcome = RecompileOutcome::kRecompileFailure;
     e.est_cost_new = 0.0;
     e.reward = 0.0;
     return e;
   }
-  e.est_cost_new = recompiled->est_cost;
+  e.est_cost_new = (*recompiled)->est_cost;
   const double kTolerance = 1e-9;
   if (e.est_cost_new < est_cost_default * (1.0 - kTolerance)) {
     e.outcome = RecompileOutcome::kLowerCost;
@@ -60,7 +77,7 @@ FlipEval EvaluateFlipCore(const engine::ScopeEngine& engine,
 /// Rebuilds the full Recommendation from the job's identity fields plus a
 /// (possibly cached) flip evaluation.
 Recommendation MaterializeFlip(const JobFeatures& job, int rule_id,
-                               const FlipEval& e) {
+                               const FlipEval& e, double est_cost_default) {
   Recommendation rec;
   rec.job_id = job.row.job_id;
   rec.template_name = job.row.normalized_job_name;
@@ -68,7 +85,7 @@ Recommendation MaterializeFlip(const JobFeatures& job, int rule_id,
   rec.rule_id = rule_id;
   rec.instance = job.row.instance;
   rec.span = job.span;
-  rec.est_cost_default = job.default_compilation.est_cost;
+  rec.est_cost_default = est_cost_default;
   rec.enable = e.enable;
   rec.est_cost_new = e.est_cost_new;
   rec.outcome = e.outcome;
@@ -101,15 +118,17 @@ std::vector<bandit::RankableAction> Recommender::BuildActions(
 
 Recommendation Recommender::EvaluateFlip(const JobFeatures& job,
                                          int rule_id) const {
+  double est_cost_default = DefaultEstCost(*engine_, job);
   if (rule_id < 0) {
     // No-op action: no recompilation, identity outcome.
     FlipEval noop;
-    noop.est_cost_new = job.default_compilation.est_cost;
-    return MaterializeFlip(job, rule_id, noop);
+    noop.est_cost_new = est_cost_default;
+    return MaterializeFlip(job, rule_id, noop, est_cost_default);
   }
   return MaterializeFlip(
       job, rule_id,
-      EvaluateFlipCore(*engine_, config_.reward_clip, job, rule_id));
+      EvaluateFlipCore(*engine_, config_.reward_clip, job, rule_id),
+      est_cost_default);
 }
 
 std::vector<Recommendation> Recommender::RecommendDay(
@@ -140,7 +159,8 @@ std::vector<Recommendation> Recommender::RecommendDay(
     if (rule >= 0 && !flip_cache.empty()) {
       auto it = flip_cache[job_index].find(rule);
       if (it != flip_cache[job_index].end()) {
-        return MaterializeFlip(job, rule, it->second);
+        return MaterializeFlip(job, rule, it->second,
+                               DefaultEstCost(*engine_, job));
       }
     }
     return EvaluateFlip(job, rule);

@@ -28,11 +28,11 @@ Result<SpanResult> ComputeJobSpan(const engine::ScopeEngine& engine,
 
   SpanResult result;
   QO_ASSIGN_OR_RETURN(result.default_compilation,
-                      engine.Compile(job, opt::RuleConfig::Default()));
+                      engine.CompileShared(job, opt::RuleConfig::Default()));
   result.iterations = 1;
 
   // Seed: flippable rules used by the default plan.
-  BitVector256 seen = result.default_compilation.signature & flippable;
+  BitVector256 seen = result.default_compilation->signature & flippable;
   result.span = seen;
 
   // Fix-point loop: enable all off-by-default rules, disable everything seen
@@ -47,13 +47,13 @@ Result<SpanResult> ComputeJobSpan(const engine::ScopeEngine& engine,
     // Sole implementations stay enabled: disabling them guarantees failure
     // and would end discovery before alternatives can surface.
     for (int pos : seen.AndNot(sole_impls).Positions()) attempt.Disable(pos);
-    auto compiled = engine.Compile(job, attempt);
+    auto compiled = engine.CompileShared(job, attempt);
     ++result.iterations;
     if (!compiled.ok()) {
       result.ended_by_failure = true;
       break;
     }
-    BitVector256 used = compiled->signature & flippable;
+    BitVector256 used = (*compiled)->signature & flippable;
     BitVector256 fresh = used.AndNot(seen);
     if (fresh.None()) break;
     seen |= fresh;

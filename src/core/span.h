@@ -10,6 +10,8 @@
 #ifndef QO_CORE_SPAN_H_
 #define QO_CORE_SPAN_H_
 
+#include <memory>
+
 #include "common/bitvector.h"
 #include "common/status.h"
 #include "engine/engine.h"
@@ -24,8 +26,10 @@ struct SpanResult {
   int iterations = 0;
   /// True when the loop ended because a recompilation failed.
   bool ended_by_failure = false;
-  /// The default-configuration compilation (reused by later stages).
-  opt::CompilationOutput default_compilation;
+  /// The default-configuration compilation, shared with the engine's cache.
+  /// Later stages (multi-flip baselines, recommendation, Table 3) read this
+  /// instead of recompiling the default config.
+  std::shared_ptr<const opt::CompilationOutput> default_compilation;
 };
 
 /// Computes the span for one job instance. CompileError when even the

@@ -1,27 +1,105 @@
 #include "engine/engine.h"
 
+#include <utility>
+
+#include "cache/fingerprint.h"
 #include "scope/compiler.h"
 
 namespace qo::engine {
 
 ScopeEngine::ScopeEngine(opt::OptimizerOptions optimizer_options,
-                         exec::ClusterConfig cluster_config)
-    : optimizer_options_(optimizer_options), simulator_(cluster_config) {}
+                         exec::ClusterConfig cluster_config,
+                         cache::CompileCacheOptions cache_options)
+    : optimizer_options_(optimizer_options),
+      simulator_(cluster_config),
+      options_fingerprint_(
+          cache::OptimizerOptionsFingerprint(optimizer_options)) {
+  if (cache_options.enabled) {
+    cache_ = std::make_unique<cache::CompilationCache>(cache_options);
+  }
+}
+
+cache::FrontEndKey ScopeEngine::FrontEndKeyOf(
+    const workload::JobInstance& job) const {
+  cache::FrontEndKey key;
+  key.script_hash = HashString(job.script);
+  key.catalog_fingerprint =
+      job.catalog.StatsFingerprint() ^ options_fingerprint_;
+  return key;
+}
+
+Result<opt::CompilationOutput> ScopeEngine::Optimize(
+    const scope::LogicalPlan& logical, const workload::JobInstance& job,
+    const opt::RuleConfig& config) const {
+  opt::Optimizer optimizer(job.catalog, optimizer_options_);
+  return optimizer.Optimize(logical, config);
+}
+
+Result<std::shared_ptr<const scope::LogicalPlan>> ScopeEngine::CompileFrontEnd(
+    const workload::JobInstance& job) const {
+  if (cache_ == nullptr) {
+    QO_ASSIGN_OR_RETURN(scope::LogicalPlan logical,
+                        scope::CompileSource(job.script, job.catalog));
+    return std::shared_ptr<const scope::LogicalPlan>(
+        std::make_shared<scope::LogicalPlan>(std::move(logical)));
+  }
+  cache::FrontEndPtr entry = cache_->GetOrParse(FrontEndKeyOf(job), [&] {
+    return scope::CompileSource(job.script, job.catalog);
+  });
+  if (!entry->status.ok()) return entry->status;
+  // Alias the plan to the cache entry: one refcount, zero copies.
+  return std::shared_ptr<const scope::LogicalPlan>(entry, &entry->plan);
+}
+
+Result<std::shared_ptr<const opt::CompilationOutput>>
+ScopeEngine::CompileShared(const workload::JobInstance& job,
+                           const opt::RuleConfig& config) const {
+  if (cache_ == nullptr) {
+    QO_ASSIGN_OR_RETURN(scope::LogicalPlan logical,
+                        scope::CompileSource(job.script, job.catalog));
+    QO_ASSIGN_OR_RETURN(opt::CompilationOutput output,
+                        Optimize(logical, job, config));
+    return std::shared_ptr<const opt::CompilationOutput>(
+        std::make_shared<opt::CompilationOutput>(std::move(output)));
+  }
+  cache::CompilationKey key;
+  key.front_end = FrontEndKeyOf(job);
+  key.config = config.bits();
+  cache::CompilationPtr entry = cache_->GetOrCompile(
+      key, [&]() -> Result<opt::CompilationOutput> {
+        // Miss handler: level 1 still memoizes the front end, so the other
+        // configs of this job skip straight to the optimizer.
+        cache::FrontEndPtr fe = cache_->GetOrParse(key.front_end, [&] {
+          return scope::CompileSource(job.script, job.catalog);
+        });
+        if (!fe->status.ok()) return fe->status;
+        return Optimize(fe->plan, job, config);
+      });
+  if (!entry->status.ok()) return entry->status;
+  return std::shared_ptr<const opt::CompilationOutput>(entry, &entry->output);
+}
 
 Result<opt::CompilationOutput> ScopeEngine::Compile(
     const workload::JobInstance& job, const opt::RuleConfig& config) const {
-  QO_ASSIGN_OR_RETURN(scope::LogicalPlan logical,
-                      scope::CompileSource(job.script, job.catalog));
-  opt::Optimizer optimizer(job.catalog, optimizer_options_);
-  return optimizer.Optimize(logical, config);
+  if (cache_ == nullptr) {
+    // No cache to share with: compile straight into the caller's value,
+    // skipping the shared_ptr wrap + deep copy of the cached path.
+    QO_ASSIGN_OR_RETURN(scope::LogicalPlan logical,
+                        scope::CompileSource(job.script, job.catalog));
+    return Optimize(logical, job, config);
+  }
+  QO_ASSIGN_OR_RETURN(std::shared_ptr<const opt::CompilationOutput> shared,
+                      CompileShared(job, config));
+  return opt::CompilationOutput(*shared);
 }
 
 Result<JobRunResult> ScopeEngine::Run(const workload::JobInstance& job,
                                       const opt::RuleConfig& config,
                                       uint64_t run_salt) const {
-  QO_ASSIGN_OR_RETURN(opt::CompilationOutput compiled, Compile(job, config));
+  QO_ASSIGN_OR_RETURN(std::shared_ptr<const opt::CompilationOutput> compiled,
+                      CompileShared(job, config));
   JobRunResult result;
-  result.metrics = Execute(job, compiled.plan, run_salt);
+  result.metrics = Execute(job, compiled->plan, run_salt);
   result.compilation = std::move(compiled);
   return result;
 }
@@ -31,6 +109,11 @@ exec::JobMetrics ScopeEngine::Execute(const workload::JobInstance& job,
                                       uint64_t run_salt) const {
   uint64_t seed = job.run_seed ^ (run_salt * 0xbf58476d1ce4e5b9ULL + 1);
   return simulator_.Execute(plan, job.catalog, seed);
+}
+
+telemetry::CompileCacheTelemetry ScopeEngine::compile_cache_telemetry() const {
+  if (cache_ == nullptr) return telemetry::CompileCacheTelemetry{};
+  return cache_->Telemetry();
 }
 
 }  // namespace qo::engine

@@ -3,42 +3,68 @@
 //
 // This is the component QO-Advisor steers: the pipeline talks to it for
 // recompilation, and the flighting service uses it for pre-production runs.
+//
+// Compilation is served through a two-level cache (src/cache/): a
+// config-independent front-end memo (script -> LogicalPlan) plus a full
+// (job, config) compilation cache, both sharded/LRU-bounded and keyed by
+// content fingerprints. The cache is transparent — results are byte-
+// identical with it on (default), off (QO_COMPILE_CACHE=0) and at any
+// thread count — it only changes how often the compiler actually runs.
 #ifndef QO_ENGINE_ENGINE_H_
 #define QO_ENGINE_ENGINE_H_
 
+#include <memory>
+
+#include "cache/compilation_cache.h"
 #include "common/status.h"
 #include "exec/cluster.h"
 #include "exec/metrics.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/rules.h"
+#include "telemetry/cache_telemetry.h"
 #include "workload/template_gen.h"
 
 namespace qo::engine {
 
-/// Compilation + one execution of a job.
+/// Compilation + one execution of a job. The compilation is shared with the
+/// engine's cache (immutable; copy `*compilation` if mutation is needed).
 struct JobRunResult {
-  opt::CompilationOutput compilation;
+  std::shared_ptr<const opt::CompilationOutput> compilation;
   exec::JobMetrics metrics;
 };
 
-/// Stateless facade bundling the compiler, optimizer and cluster simulator.
+/// Facade bundling the compiler, optimizer and cluster simulator.
 ///
-/// Audited for the parallel runtime: no hidden mutable state. The compiler
-/// and optimizer are constructed per Compile call; the cluster simulator
-/// seeds a local RNG per Execute call; the only process-wide state touched
-/// (RuleRegistry, lexer keyword table) is immutable after its thread-safe
-/// first-use initialization.
+/// Audited for the parallel runtime: compilation results are immutable and
+/// the compilation cache is internally synchronized (sharded mutexes); the
+/// cluster simulator seeds a local RNG per Execute call; the only
+/// process-wide state touched (RuleRegistry, lexer keyword table) is
+/// immutable after its thread-safe first-use initialization.
 class ScopeEngine {
  public:
-  explicit ScopeEngine(opt::OptimizerOptions optimizer_options = {},
-                       exec::ClusterConfig cluster_config = {});
+  explicit ScopeEngine(
+      opt::OptimizerOptions optimizer_options = {},
+      exec::ClusterConfig cluster_config = {},
+      cache::CompileCacheOptions cache_options =
+          cache::CompileCacheOptions::FromEnv());
 
   /// Parses, compiles and optimizes the instance's script under `config`.
   /// CompileError on parse/semantic errors or infeasible configurations.
-  /// Thread-safety: const and pure — deterministic per (job, config), safe
-  /// to call concurrently.
+  /// Thread-safety: const and deterministic per (job, config), safe to call
+  /// concurrently. Returns an owned copy; prefer CompileShared on hot paths.
   Result<opt::CompilationOutput> Compile(const workload::JobInstance& job,
                                          const opt::RuleConfig& config) const;
+
+  /// Compile without copying: the returned output is shared with the cache
+  /// and must not be mutated. This is the path the advisor pipeline uses —
+  /// a cache hit is O(1) regardless of plan size.
+  Result<std::shared_ptr<const opt::CompilationOutput>> CompileShared(
+      const workload::JobInstance& job, const opt::RuleConfig& config) const;
+
+  /// Front end only (lex + parse + resolve, no optimization), memoized
+  /// across every configuration of the job. Exposed for tests and tools.
+  Result<std::shared_ptr<const scope::LogicalPlan>> CompileFrontEnd(
+      const workload::JobInstance& job) const;
 
   /// Compile + execute. `run_salt` differentiates repeated executions of the
   /// same instance (A/A and A/B runs); identical salts replay identically.
@@ -61,9 +87,25 @@ class ScopeEngine {
     return simulator_.config();
   }
 
+  /// True when the two-level compilation cache is active.
+  bool compile_cache_enabled() const { return cache_ != nullptr; }
+  /// Hit/miss/eviction counters (all zero when the cache is disabled).
+  telemetry::CompileCacheTelemetry compile_cache_telemetry() const;
+
  private:
+  /// The uncached compile path (also the cache's miss handler).
+  Result<opt::CompilationOutput> Optimize(const scope::LogicalPlan& logical,
+                                          const workload::JobInstance& job,
+                                          const opt::RuleConfig& config) const;
+  cache::FrontEndKey FrontEndKeyOf(const workload::JobInstance& job) const;
+
   opt::OptimizerOptions optimizer_options_;
   exec::ClusterSimulator simulator_;
+  /// Folded into every cache key so options changes can never alias.
+  uint64_t options_fingerprint_ = 0;
+  /// Null when disabled. Mutable state behind const Compile; internally
+  /// synchronized.
+  std::unique_ptr<cache::CompilationCache> cache_;
 };
 
 }  // namespace qo::engine

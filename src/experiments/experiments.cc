@@ -53,6 +53,12 @@ runtime::RuntimeOptions HarnessRuntimeOptions(const ExperimentConfig& config) {
   return options;
 }
 
+cache::CompileCacheOptions HarnessCacheOptions(const ExperimentConfig& config) {
+  cache::CompileCacheOptions options = cache::CompileCacheOptions::FromEnv();
+  if (config.compile_cache >= 0) options.enabled = config.compile_cache != 0;
+  return options;
+}
+
 /// A recommender wired to a throwaway personalizer, for experiments that
 /// need EvaluateFlip without learning.
 struct FlipEvaluator {
@@ -94,6 +100,7 @@ ExperimentEnv::ExperimentEnv(ExperimentConfig config)
       driver_({.num_templates = config.num_templates,
                .jobs_per_day = config.jobs_per_day,
                .seed = config.seed}),
+      engine_({}, {}, HarnessCacheOptions(config)),
       runtime_(HarnessRuntimeOptions(config)) {}
 
 telemetry::WorkloadView ExperimentEnv::BuildDayView(
@@ -122,7 +129,7 @@ telemetry::WorkloadView ExperimentEnv::BuildDayView(
       [&](size_t i, Result<engine::JobRunResult>&& result) {
         if (!result.ok()) return;
         view.rows.push_back(telemetry::MakeViewRow(
-            jobs[i], result->compilation, result->metrics));
+            jobs[i], *result->compilation, result->metrics));
       });
   return view;
 }
@@ -181,12 +188,12 @@ VarianceResult RunAAVariance(const ExperimentEnv& env, Metric metric,
   std::vector<std::pair<double, double>> raw;  // (mean latency, cv)
   double max_mean_latency = 0.0;
   for (const auto& job : env.driver().DayJobs(day)) {
-    auto compiled = env.engine().Compile(job, opt::RuleConfig::Default());
+    auto compiled = env.engine().CompileShared(job, opt::RuleConfig::Default());
     if (!compiled.ok()) continue;
     RunningStats value, latency;
     for (int run = 0; run < env.config().aa_runs; ++run) {
       exec::JobMetrics m = env.engine().Execute(
-          job, compiled->plan, static_cast<uint64_t>(run) + 1000);
+          job, (*compiled)->plan, static_cast<uint64_t>(run) + 1000);
       value.Add(MetricOf(m, metric));
       latency.Add(m.latency_sec);
     }
@@ -519,7 +526,7 @@ RandomVsCbResult RunRandomVsCb(const ExperimentEnv& env, int cb_train_days,
 
   FlipEvaluator eval(&env.engine());
   for (const JobFeatures& f : features) {
-    result.default_total_est_cost += f.default_compilation.est_cost;
+    result.default_total_est_cost += f.default_compilation->est_cost;
     std::vector<int> bits = f.span.Positions();
     // Random arm.
     int random_rule = bits[rng.UniformInt(bits.size())];

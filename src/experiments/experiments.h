@@ -28,6 +28,10 @@ struct ExperimentConfig {
   /// 0 reads QO_THREADS from the environment (the bench binaries' knob);
   /// 1 forces serial. Results are byte-identical for every value.
   int threads = 0;
+  /// Two-level compilation cache for the harness's engine: -1 reads
+  /// QO_COMPILE_CACHE from the environment (default on), 0 forces it off,
+  /// 1 forces it on. Results are byte-identical for every value.
+  int compile_cache = -1;
 };
 
 /// Shared environment: workload + engine + helpers to execute a day and

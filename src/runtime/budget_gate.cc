@@ -22,16 +22,26 @@ bool BudgetGate::Admissible() const {
 void BudgetGate::Reserve(double hours) {
   std::lock_guard<std::mutex> lock(mu_);
   reserved_ += hours;
+  ++outstanding_reservations_;
+}
+
+void BudgetGate::ReleaseReservationLocked(double hours) {
+  reserved_ = std::max(0.0, reserved_ - hours);
+  if (outstanding_reservations_ > 0) --outstanding_reservations_;
+  // Float addition is not associative: reservations settled in a
+  // timing-dependent order can cancel to ~1e-17 dust instead of zero. With
+  // nothing outstanding the true value IS zero, so snap to it.
+  if (outstanding_reservations_ == 0) reserved_ = 0.0;
 }
 
 void BudgetGate::Refund(double hours) {
   std::lock_guard<std::mutex> lock(mu_);
-  reserved_ = std::max(0.0, reserved_ - hours);
+  ReleaseReservationLocked(hours);
 }
 
 bool BudgetGate::CommitReserved(double hours) {
   std::lock_guard<std::mutex> lock(mu_);
-  reserved_ = std::max(0.0, reserved_ - hours);
+  ReleaseReservationLocked(hours);
   if (committed_ + hours > capacity_) return false;
   committed_ += hours;
   return true;
@@ -53,6 +63,7 @@ void BudgetGate::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   committed_ = 0.0;
   reserved_ = 0.0;
+  outstanding_reservations_ = 0;
 }
 
 }  // namespace qo::runtime

@@ -28,6 +28,7 @@
 #ifndef QO_RUNTIME_BUDGET_GATE_H_
 #define QO_RUNTIME_BUDGET_GATE_H_
 
+#include <cstddef>
 #include <mutex>
 
 namespace qo::runtime {
@@ -67,10 +68,16 @@ class BudgetGate {
   void Reset();
 
  private:
+  /// Settles one reservation (mu_ held): subtracts the hours and, when no
+  /// reservations remain outstanding, snaps rounding dust to exactly 0.0.
+  void ReleaseReservationLocked(double hours);
+
   const double capacity_;
   mutable std::mutex mu_;
   double committed_ = 0.0;
   double reserved_ = 0.0;
+  /// Reservations made but not yet refunded/committed.
+  size_t outstanding_reservations_ = 0;
 };
 
 }  // namespace qo::runtime

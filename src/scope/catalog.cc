@@ -1,8 +1,38 @@
 #include "scope/catalog.h"
 
+#include "common/hash.h"
+
 namespace qo::scope {
 
+namespace {
+
+/// Content hash of one (path, stats) entry. Avalanched so entries can be
+/// combined (and incrementally removed) with plain + / - arithmetic.
+uint64_t TableHash(const std::string& path, const TableStats& stats) {
+  uint64_t t = HashString(path, 0xcafef00dd15ea5e5ULL);
+  t = HashDouble(stats.true_rows, t);
+  t = HashDouble(stats.est_rows, t);
+  t = HashDouble(stats.avg_row_bytes, t);
+  uint64_t cols = stats.columns.size();
+  // Column order in the unordered_map must not matter: combine with +.
+  for (const auto& [column, cstats] : stats.columns) {
+    uint64_t c = HashString(column, 0xc01d57a75ULL);
+    c = HashDouble(cstats.true_ndv, c);
+    c = HashDouble(cstats.est_ndv, c);
+    cols += MixHash(c);
+  }
+  t = HashU64(cols, t);
+  return MixHash(t);
+}
+
+}  // namespace
+
 void Catalog::RegisterTable(const std::string& path, TableStats stats) {
+  // Maintain the fingerprint sum incrementally: the compile path reads
+  // StatsFingerprint once per cache lookup, so it must stay O(1) there.
+  auto it = tables_.find(path);
+  if (it != tables_.end()) fingerprint_sum_ -= TableHash(path, it->second);
+  fingerprint_sum_ += TableHash(path, stats);
   tables_[path] = std::move(stats);
 }
 
@@ -12,6 +42,12 @@ Result<const TableStats*> Catalog::Lookup(const std::string& path) const {
     return Status::NotFound("table not in catalog: " + path);
   }
   return &it->second;
+}
+
+uint64_t Catalog::StatsFingerprint() const {
+  // Registration order must not matter: fingerprint_sum_ is a commutative
+  // sum of per-entry hashes, so the result is a pure function of content.
+  return MixHash(0x9e3779b97f4a7c15ULL + tables_.size() + fingerprint_sum_);
 }
 
 ColumnStats Catalog::LookupColumn(const std::string& path,

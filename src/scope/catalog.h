@@ -9,6 +9,7 @@
 #ifndef QO_SCOPE_CATALOG_H_
 #define QO_SCOPE_CATALOG_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -56,8 +57,18 @@ class Catalog {
   ColumnStats LookupColumn(const std::string& path,
                            const std::string& column) const;
 
+  /// Deterministic content hash over every registered table and column
+  /// statistic (true + optimizer-visible). Two catalogs with identical
+  /// statistics produce identical fingerprints regardless of registration
+  /// order — this keys the compilation caches (src/cache/), where any stats
+  /// drift must invalidate by missing. O(1): maintained incrementally by
+  /// RegisterTable, so the compile hot path pays nothing per lookup.
+  uint64_t StatsFingerprint() const;
+
  private:
   std::unordered_map<std::string, TableStats> tables_;
+  /// Commutative sum of per-table content hashes (see StatsFingerprint).
+  uint64_t fingerprint_sum_ = 0;
 };
 
 }  // namespace qo::scope

@@ -1,0 +1,31 @@
+#include "telemetry/cache_telemetry.h"
+
+#include <cstdio>
+
+namespace qo::telemetry {
+
+namespace {
+
+void AppendLevel(std::string* out, const char* name, const CacheCounters& c) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "  %-12s hits=%llu misses=%llu evictions=%llu "
+                "entries=%zu/%zu hit_rate=%.1f%%\n",
+                name, static_cast<unsigned long long>(c.hits),
+                static_cast<unsigned long long>(c.misses),
+                static_cast<unsigned long long>(c.evictions), c.entries,
+                c.capacity, 100.0 * c.hit_rate());
+  *out += line;
+}
+
+}  // namespace
+
+std::string CompileCacheTelemetry::ToString() const {
+  if (!enabled) return "compile cache: disabled\n";
+  std::string out = "compile cache:\n";
+  AppendLevel(&out, "front_end", front_end);
+  AppendLevel(&out, "compilations", compilations);
+  return out;
+}
+
+}  // namespace qo::telemetry

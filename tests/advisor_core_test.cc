@@ -66,7 +66,7 @@ TEST(SpanTest, SpanRulesComeFromSignaturesSeen) {
     // Rules used by the default plan (minus infra) must be in the span.
     const auto& reg = opt::RuleRegistry::Get();
     BitVector256 default_flippable =
-        span->default_compilation.signature.AndNot(
+        span->default_compilation->signature.AndNot(
             reg.CategoryMask(opt::RuleCategory::kRequired));
     default_flippable = default_flippable.AndNot(BitVector256::FromPositions(
         {opt::rules::kScanImpl, opt::rules::kOutputImpl,
@@ -86,7 +86,7 @@ telemetry::WorkloadView DayView(uint64_t seed = 11, int count = 30) {
     auto result = Engine().Run(job, opt::RuleConfig::Default(), 0);
     if (!result.ok()) continue;
     view.rows.push_back(
-        telemetry::MakeViewRow(job, result->compilation, result->metrics));
+        telemetry::MakeViewRow(job, *result->compilation, result->metrics));
   }
   return view;
 }
@@ -101,7 +101,7 @@ TEST(FeatureGenTest, DropsEmptySpansAndReportsStats) {
             stats.emitted + stats.empty_span_dropped + stats.compile_failures);
   for (const auto& f : features) {
     EXPECT_TRUE(f.span.Any());
-    EXPECT_GT(f.default_compilation.est_cost, 0);
+    EXPECT_GT(f.default_compilation->est_cost, 0);
     // Context carries the Table 1 features.
     bandit::JobContext ctx = f.ToContext();
     EXPECT_EQ(ctx.span, f.span);

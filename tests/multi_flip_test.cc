@@ -17,8 +17,17 @@ TEST(MultiFlipTest, NeverWorseThanDefaultAndMonotone) {
     auto span = ComputeJobSpan(engine, job);
     ASSERT_TRUE(span.ok());
     if (span->span.None()) continue;
-    auto result = GreedyMultiFlip(engine, job, span->span, /*horizon=*/3);
+    // Seed with the span's default compilation (the pipeline path) — the
+    // result must be identical to letting GreedyMultiFlip compile it.
+    auto result = GreedyMultiFlip(engine, job, span->span, /*horizon=*/3,
+                                  /*min_relative_gain=*/1e-3,
+                                  span->default_compilation);
     ASSERT_TRUE(result.ok()) << result.status();
+    auto recompiled = GreedyMultiFlip(engine, job, span->span, /*horizon=*/3);
+    ASSERT_TRUE(recompiled.ok());
+    EXPECT_EQ(result->est_cost_default, recompiled->est_cost_default);
+    EXPECT_EQ(result->est_cost_final, recompiled->est_cost_final);
+    EXPECT_EQ(result->flips, recompiled->flips);
     EXPECT_LE(result->est_cost_final, result->est_cost_default);
     // Trajectory is strictly decreasing (each step must improve).
     double prev = result->est_cost_default;

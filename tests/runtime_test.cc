@@ -375,8 +375,8 @@ TEST(RuntimeDeterminismTest, GenerateFeaturesParallelMatchesSerial) {
   for (size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].row.job_id, parallel[i].row.job_id);
     EXPECT_EQ(serial[i].span, parallel[i].span);
-    EXPECT_EQ(serial[i].default_compilation.est_cost,
-              parallel[i].default_compilation.est_cost);
+    EXPECT_EQ(serial[i].default_compilation->est_cost,
+              parallel[i].default_compilation->est_cost);
   }
 }
 

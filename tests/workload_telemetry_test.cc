@@ -151,7 +151,7 @@ TEST(WorkloadViewTest, RowAggregatesTable1Features) {
   auto result = engine.Run(jobs[0], opt::RuleConfig::Default(), 0);
   ASSERT_TRUE(result.ok());
   telemetry::WorkloadViewRow row =
-      telemetry::MakeViewRow(jobs[0], result->compilation, result->metrics);
+      telemetry::MakeViewRow(jobs[0], *result->compilation, result->metrics);
   EXPECT_EQ(row.job_id, jobs[0].job_id);
   EXPECT_EQ(row.normalized_job_name, jobs[0].template_name);
   EXPECT_GT(row.est_cost, 0);
@@ -162,7 +162,7 @@ TEST(WorkloadViewTest, RowAggregatesTable1Features) {
   EXPECT_GT(row.total_vertices, 0);
   EXPECT_GT(row.bytes_read, 0);
   EXPECT_GT(row.pn_hours, 0);
-  EXPECT_EQ(row.rule_signature, result->compilation.signature);
+  EXPECT_EQ(row.rule_signature, result->compilation->signature);
   // The snapshot allows recompilation.
   EXPECT_EQ(row.instance.script, jobs[0].script);
 }
