@@ -65,6 +65,47 @@ void BM_ExecuteSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecuteSimulation);
 
+// --- Prepared execution profiles (src/exec/): the A/A amortization story.
+// Unprepared re-derives the stage decomposition per run; prepared pays it
+// once in Prepare and keeps only the stochastic draws per run.
+
+void BM_PrepareProfile(benchmark::State& state) {
+  engine::ScopeEngine engine;
+  auto compiled = engine.Compile(Jobs()[0], opt::RuleConfig::Default());
+  exec::ClusterSimulator sim;
+  for (auto _ : state) {
+    auto profile = sim.Prepare(compiled->plan, Jobs()[0].catalog);
+    benchmark::DoNotOptimize(profile);
+  }
+}
+BENCHMARK(BM_PrepareProfile);
+
+void BM_ExecuteUnprepared(benchmark::State& state) {
+  engine::ScopeEngine engine;
+  auto compiled = engine.Compile(Jobs()[0], opt::RuleConfig::Default());
+  exec::ClusterSimulator sim;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    auto m = sim.Execute(compiled->plan, Jobs()[0].catalog, seed++);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_ExecuteUnprepared);
+
+void BM_ExecutePrepared(benchmark::State& state) {
+  engine::ScopeEngine engine;
+  auto compiled = engine.Compile(Jobs()[0], opt::RuleConfig::Default());
+  exec::ClusterSimulator sim;
+  exec::ExecutionProfile profile =
+      sim.Prepare(compiled->plan, Jobs()[0].catalog);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    auto m = sim.Execute(profile, seed++);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_ExecutePrepared);
+
 void BM_SpanComputation(benchmark::State& state) {
   engine::ScopeEngine engine;
   size_t i = 0;
@@ -145,8 +186,14 @@ void BM_PersonalizerRank(benchmark::State& state) {
   uint64_t i = 0;
   for (auto _ : state) {
     bandit::RankRequest req;
-    req.event_id = "e";
-    req.event_id += std::to_string(i++);
+    // Reserved build + move assign: GCC 12's -Wrestrict false-positives on
+    // the string grow path here (char* assign + append under ASan inlining,
+    // operator+ at -O3), and the reserve keeps both codegens out of it.
+    std::string event_id;
+    event_id.reserve(24);
+    event_id.push_back('e');
+    event_id += std::to_string(i++);
+    req.event_id = std::move(event_id);
     req.context = shared;
     req.actions = actions;
     auto resp = service.Rank(req);

@@ -75,8 +75,11 @@ int main(int argc, char** argv) {
     std::printf("  (no hint matched on day %d — try more days)\n", days);
   }
 
-  // How much recompilation the two-level cache absorbed across the run.
+  // How much recompilation the two-level cache absorbed across the run, and
+  // how many stage decompositions the prepared execution profiles amortized.
   std::printf("\n%s",
               env.engine().compile_cache_telemetry().ToString().c_str());
+  std::printf("%s",
+              env.engine().exec_profile_telemetry().ToString().c_str());
   return 0;
 }

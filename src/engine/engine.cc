@@ -1,5 +1,7 @@
 #include "engine/engine.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "cache/fingerprint.h"
@@ -7,11 +9,22 @@
 
 namespace qo::engine {
 
+ExecOptions ExecOptions::FromEnv() {
+  ExecOptions options;
+  const char* prepared = std::getenv("QO_PREPARED_EXEC");
+  if (prepared != nullptr && std::strcmp(prepared, "0") == 0) {
+    options.prepared = false;
+  }
+  return options;
+}
+
 ScopeEngine::ScopeEngine(opt::OptimizerOptions optimizer_options,
                          exec::ClusterConfig cluster_config,
-                         cache::CompileCacheOptions cache_options)
+                         cache::CompileCacheOptions cache_options,
+                         ExecOptions exec_options)
     : optimizer_options_(optimizer_options),
       simulator_(cluster_config),
+      exec_options_(exec_options),
       options_fingerprint_(
           cache::OptimizerOptionsFingerprint(optimizer_options)) {
   if (cache_options.enabled) {
@@ -99,21 +112,96 @@ Result<JobRunResult> ScopeEngine::Run(const workload::JobInstance& job,
   QO_ASSIGN_OR_RETURN(std::shared_ptr<const opt::CompilationOutput> compiled,
                       CompileShared(job, config));
   JobRunResult result;
-  result.metrics = Execute(job, compiled->plan, run_salt);
+  result.metrics = Execute(job, *compiled, run_salt);
   result.compilation = std::move(compiled);
   return result;
+}
+
+uint64_t ScopeEngine::RunSeed(const workload::JobInstance& job,
+                              uint64_t run_salt) {
+  return job.run_seed ^ (run_salt * 0xbf58476d1ce4e5b9ULL + 1);
 }
 
 exec::JobMetrics ScopeEngine::Execute(const workload::JobInstance& job,
                                       const opt::PhysicalPlan& plan,
                                       uint64_t run_salt) const {
-  uint64_t seed = job.run_seed ^ (run_salt * 0xbf58476d1ce4e5b9ULL + 1);
-  return simulator_.Execute(plan, job.catalog, seed);
+  return simulator_.Execute(plan, job.catalog, RunSeed(job, run_salt));
+}
+
+exec::JobMetrics ScopeEngine::Execute(const workload::JobInstance& job,
+                                      const opt::CompilationOutput& compilation,
+                                      uint64_t run_salt) const {
+  if (!exec_options_.prepared) {
+    return Execute(job, compilation.plan, run_salt);
+  }
+  std::shared_ptr<const exec::ExecutionProfile> profile =
+      PrepareProfile(job, compilation);
+  return simulator_.Execute(*profile, RunSeed(job, run_salt));
+}
+
+std::vector<exec::JobMetrics> ScopeEngine::ExecuteRuns(
+    const workload::JobInstance& job, const opt::CompilationOutput& compilation,
+    uint64_t first_salt, int runs) const {
+  std::vector<exec::JobMetrics> out;
+  out.reserve(runs > 0 ? static_cast<size_t>(runs) : 0);
+  if (!exec_options_.prepared) {
+    for (int i = 0; i < runs; ++i) {
+      out.push_back(Execute(job, compilation.plan,
+                            first_salt + static_cast<uint64_t>(i)));
+    }
+    return out;
+  }
+  std::shared_ptr<const exec::ExecutionProfile> profile =
+      PrepareProfile(job, compilation);
+  for (int i = 0; i < runs; ++i) {
+    out.push_back(simulator_.Execute(
+        *profile, RunSeed(job, first_salt + static_cast<uint64_t>(i))));
+  }
+  return out;
+}
+
+std::shared_ptr<const exec::ExecutionProfile> ScopeEngine::PrepareProfile(
+    const workload::JobInstance& job,
+    const opt::CompilationOutput& compilation) const {
+  // Reuse requires the stored profile to match both the cluster config and
+  // the catalog statistics: scan work bakes in table sizes, so a compilation
+  // executed against drifted stats must re-prepare.
+  const uint64_t catalog_fp = job.catalog.StatsFingerprint();  // O(1)
+  auto matches = [&](const exec::ExecutionProfile& p) {
+    return p.config_fingerprint == simulator_.config_fingerprint() &&
+           p.catalog_fingerprint == catalog_fp;
+  };
+  std::shared_ptr<const exec::ExecutionProfile> existing =
+      compilation.exec_profile.Load();
+  if (existing != nullptr && matches(*existing)) {
+    profile_hits_.fetch_add(1, std::memory_order_relaxed);
+    return existing;
+  }
+  profile_misses_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const exec::ExecutionProfile> fresh =
+      simulator_.PrepareShared(compilation.plan, job.catalog);
+  std::shared_ptr<const exec::ExecutionProfile> winner =
+      compilation.exec_profile.TryStore(fresh);
+  // The slot can hold a foreign profile when a compilation is shared across
+  // engines with different cluster configs (or executed against drifted
+  // statistics); keep ours local then instead of clobbering the slot.
+  return matches(*winner) ? winner : fresh;
 }
 
 telemetry::CompileCacheTelemetry ScopeEngine::compile_cache_telemetry() const {
   if (cache_ == nullptr) return telemetry::CompileCacheTelemetry{};
   return cache_->Telemetry();
+}
+
+telemetry::ExecProfileTelemetry ScopeEngine::exec_profile_telemetry() const {
+  telemetry::ExecProfileTelemetry t;
+  t.prepared_enabled = exec_options_.prepared;
+  t.prepares = simulator_.profile_prepares();
+  t.prepared_runs = simulator_.prepared_runs();
+  t.unprepared_runs = simulator_.unprepared_runs();
+  t.profile_hits = profile_hits_.load(std::memory_order_relaxed);
+  t.profile_misses = profile_misses_.load(std::memory_order_relaxed);
+  return t;
 }
 
 }  // namespace qo::engine

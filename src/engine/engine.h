@@ -13,7 +13,9 @@
 #ifndef QO_ENGINE_ENGINE_H_
 #define QO_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
+#include <vector>
 
 #include "cache/compilation_cache.h"
 #include "common/status.h"
@@ -22,9 +24,23 @@
 #include "optimizer/optimizer.h"
 #include "optimizer/rules.h"
 #include "telemetry/cache_telemetry.h"
+#include "telemetry/exec_telemetry.h"
 #include "workload/template_gen.h"
 
 namespace qo::engine {
+
+/// Execution-side engine options.
+struct ExecOptions {
+  /// Serve repeated executions of one compilation from a prepared
+  /// ExecutionProfile cached on the shared CompilationOutput. Transparent:
+  /// metrics are byte-identical either way (asserted by exec_test); off only
+  /// costs a fresh stage decomposition per run.
+  bool prepared = true;
+
+  /// Reads QO_PREPARED_EXEC (0 disables; unset/anything else keeps the
+  /// default on).
+  static ExecOptions FromEnv();
+};
 
 /// Compilation + one execution of a job. The compilation is shared with the
 /// engine's cache (immutable; copy `*compilation` if mutation is needed).
@@ -46,7 +62,8 @@ class ScopeEngine {
       opt::OptimizerOptions optimizer_options = {},
       exec::ClusterConfig cluster_config = {},
       cache::CompileCacheOptions cache_options =
-          cache::CompileCacheOptions::FromEnv());
+          cache::CompileCacheOptions::FromEnv(),
+      ExecOptions exec_options = ExecOptions::FromEnv());
 
   /// Parses, compiles and optimizes the instance's script under `config`.
   /// CompileError on parse/semantic errors or infeasible configurations.
@@ -74,11 +91,38 @@ class ScopeEngine {
                            const opt::RuleConfig& config,
                            uint64_t run_salt) const;
 
-  /// Executes an already-compiled plan.
+  /// Executes an already-compiled plan. This is the unprepared path: the
+  /// simulator re-derives the execution profile on every call. Prefer the
+  /// CompilationOutput overload on hot paths.
   /// Thread-safety: const and pure — see Run(); safe to call concurrently.
   exec::JobMetrics Execute(const workload::JobInstance& job,
                            const opt::PhysicalPlan& plan,
                            uint64_t run_salt) const;
+
+  /// Executes a shared compilation through its cached execution profile
+  /// (prepared lazily on first use, then reused by every later run — A/A,
+  /// A/B arms, eval loops). Byte-identical to the plan overload for every
+  /// salt. Thread-safety: const; the profile slot is internally
+  /// synchronized, safe to call concurrently.
+  exec::JobMetrics Execute(const workload::JobInstance& job,
+                           const opt::CompilationOutput& compilation,
+                           uint64_t run_salt) const;
+
+  /// Batched A/A runs over one prepared profile: the runs for salts
+  /// `first_salt + i`, i in [0, runs). Element i is byte-identical to
+  /// Execute(job, compilation, first_salt + i).
+  std::vector<exec::JobMetrics> ExecuteRuns(
+      const workload::JobInstance& job,
+      const opt::CompilationOutput& compilation, uint64_t first_salt,
+      int runs) const;
+
+  /// The compilation's execution profile: reuses the slot when it already
+  /// holds a profile for this engine's cluster config, otherwise prepares
+  /// (and publishes) one. Always prepares, regardless of the QO_PREPARED_EXEC
+  /// knob — the knob only steers Run/Execute routing.
+  std::shared_ptr<const exec::ExecutionProfile> PrepareProfile(
+      const workload::JobInstance& job,
+      const opt::CompilationOutput& compilation) const;
 
   const opt::OptimizerOptions& optimizer_options() const {
     return optimizer_options_;
@@ -92,7 +136,14 @@ class ScopeEngine {
   /// Hit/miss/eviction counters (all zero when the cache is disabled).
   telemetry::CompileCacheTelemetry compile_cache_telemetry() const;
 
+  /// True when Run/Execute serve repeated runs from prepared profiles.
+  bool prepared_exec_enabled() const { return exec_options_.prepared; }
+  /// Prepare/reuse counters for the prepared-execution path.
+  telemetry::ExecProfileTelemetry exec_profile_telemetry() const;
+
  private:
+  /// The seed the simulator derives all of a run's stochastic draws from.
+  static uint64_t RunSeed(const workload::JobInstance& job, uint64_t run_salt);
   /// The uncached compile path (also the cache's miss handler).
   Result<opt::CompilationOutput> Optimize(const scope::LogicalPlan& logical,
                                           const workload::JobInstance& job,
@@ -101,11 +152,15 @@ class ScopeEngine {
 
   opt::OptimizerOptions optimizer_options_;
   exec::ClusterSimulator simulator_;
+  ExecOptions exec_options_;
   /// Folded into every cache key so options changes can never alias.
   uint64_t options_fingerprint_ = 0;
   /// Null when disabled. Mutable state behind const Compile; internally
   /// synchronized.
   std::unique_ptr<cache::CompilationCache> cache_;
+  /// Profile-slot reuse counters (relaxed; monotone under concurrency).
+  mutable std::atomic<uint64_t> profile_hits_{0};
+  mutable std::atomic<uint64_t> profile_misses_{0};
 };
 
 }  // namespace qo::engine

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
 
 namespace qo::exec {
 
@@ -132,51 +135,80 @@ NodeWork ComputeNodeWork(const PhysicalPlan& plan, const PhysicalNode& n,
   return w;
 }
 
-}  // namespace
+/// One ComputeNodeWork pass over the whole plan, indexed by node id (ids are
+/// dense: PhysicalPlan::AddNode assigns them from the vector index).
+std::vector<NodeWork> ComputeAllNodeWork(const PhysicalPlan& plan,
+                                         const scope::Catalog& catalog,
+                                         const ClusterConfig& config) {
+  std::vector<NodeWork> works;
+  works.reserve(plan.nodes.size());
+  for (const auto& n : plan.nodes) {
+    works.push_back(ComputeNodeWork(plan, n, catalog, config));
+  }
+  return works;
+}
 
-std::vector<Stage> DecomposeIntoStages(const PhysicalPlan& plan,
-                                       const scope::Catalog& catalog,
-                                       const ClusterConfig& config) {
+/// Stage decomposition over precomputed per-node work. Iterative DFS that
+/// replays the historical recursive assignment order exactly: stages are
+/// created the moment a root or exchange child is visited, node_ids are
+/// appended in pre-order, so stage indices and per-stage sums match the
+/// legacy implementation bit-for-bit.
+std::vector<Stage> DecomposeWithWork(const PhysicalPlan& plan,
+                                     const std::vector<NodeWork>& works) {
   std::vector<Stage> stages;
-  std::unordered_map<int, int> node_stage;  // node id -> stage index
+  std::vector<int> node_stage(plan.nodes.size(), -1);
 
   // Assign nodes to stages top-down from the roots; exchanges start a new
   // stage for their subtree (the exchange itself models the boundary and is
-  // accounted to the producer stage).
-  std::function<void(int, int)> assign = [&](int node_id, int stage_idx) {
-    if (node_stage.count(node_id) > 0) {
-      // Shared node (DAG): it already runs in its first stage; later
-      // consumers just depend on that stage.
-      return;
-    }
-    node_stage[node_id] = stage_idx;
-    stages[stage_idx].node_ids.push_back(node_id);
-    const PhysicalNode& n = plan.node(node_id);
-    for (int c : n.children) {
-      if (opt::IsExchange(plan.node(c).kind)) {
-        int next = static_cast<int>(stages.size());
-        stages.emplace_back();
-        assign(c, next);
-      } else {
-        assign(c, stage_idx);
-      }
-    }
+  // accounted to the producer stage). A pending visit with stage == -1 opens
+  // a new stage when popped (root or exchange child); shared nodes (DAGs)
+  // already run in their first stage, later consumers just depend on it.
+  struct Visit {
+    int node;
+    int stage;  ///< -1: allocate a fresh stage when popped
   };
-  for (int r : plan.roots) {
-    int idx = static_cast<int>(stages.size());
-    stages.emplace_back();
-    assign(r, idx);
+  std::vector<Visit> dfs;
+  for (size_t r = plan.roots.size(); r-- > 0;) {
+    dfs.push_back({plan.roots[r], -1});
+  }
+  while (!dfs.empty()) {
+    Visit v = dfs.back();
+    dfs.pop_back();
+    int stage_idx = v.stage;
+    if (stage_idx < 0) {
+      stage_idx = static_cast<int>(stages.size());
+      stages.emplace_back();
+    }
+    if (node_stage[v.node] >= 0) continue;  // shared node
+    node_stage[v.node] = stage_idx;
+    stages[stage_idx].node_ids.push_back(v.node);
+    const std::vector<int>& children = plan.node(v.node).children;
+    for (size_t c = children.size(); c-- > 0;) {
+      int child = children[c];
+      bool boundary = opt::IsExchange(plan.node(child).kind);
+      dfs.push_back({child, boundary ? -1 : stage_idx});
+    }
   }
 
   // Stage dependencies: an edge crossing stages makes the consumer stage
-  // wait on the producer stage.
-  for (const auto& [node_id, stage_idx] : node_stage) {
+  // wait on the producer stage. Emitted deduplicated in ascending order
+  // (duplicates and ordering cannot affect the ready-time max).
+  for (int node_id = 0; node_id < static_cast<int>(plan.nodes.size());
+       ++node_id) {
+    int stage_idx = node_stage[node_id];
+    if (stage_idx < 0) continue;  // unreachable from any root
     for (int c : plan.node(node_id).children) {
       int child_stage = node_stage[c];
       if (child_stage != stage_idx) {
         stages[stage_idx].upstream.push_back(child_stage);
       }
     }
+  }
+  for (Stage& stage : stages) {
+    std::sort(stage.upstream.begin(), stage.upstream.end());
+    stage.upstream.erase(
+        std::unique(stage.upstream.begin(), stage.upstream.end()),
+        stage.upstream.end());
   }
 
   // Aggregate per-stage work and parallelism. Exchange operators execute
@@ -188,7 +220,7 @@ std::vector<Stage> DecomposeIntoStages(const PhysicalPlan& plan,
     int exchange_child_parts = 1;
     for (int id : stage.node_ids) {
       const PhysicalNode& n = plan.node(id);
-      NodeWork w = ComputeNodeWork(plan, n, catalog, config);
+      const NodeWork& w = works[id];
       stage.cpu_sec += w.cpu_sec;
       stage.io_sec += w.io_sec;
       if (opt::IsExchange(n.kind)) {
@@ -206,33 +238,160 @@ std::vector<Stage> DecomposeIntoStages(const PhysicalPlan& plan,
   return stages;
 }
 
+}  // namespace
+
+std::vector<Stage> DecomposeIntoStages(const PhysicalPlan& plan,
+                                       const scope::Catalog& catalog,
+                                       const ClusterConfig& config) {
+  return DecomposeWithWork(plan, ComputeAllNodeWork(plan, catalog, config));
+}
+
+uint64_t ClusterConfigFingerprint(const ClusterConfig& c) {
+  // Field-count tripwire: this binding list must decompose every
+  // ClusterConfig field, so adding or removing one fails to compile here —
+  // forcing the hash to be revisited (a sizeof assert would miss fields
+  // that fit existing padding).
+  const auto& [tokens, cpu_scan_row, cpu_filter_row, cpu_project_row,
+               cpu_hash_build_row, cpu_hash_probe_row, cpu_sort_row_log,
+               cpu_agg_row, cpu_union_row, cpu_exchange_byte,
+               io_storage_read_byte, io_storage_write_byte, io_shuffle_byte,
+               stage_startup_sec, job_overhead_sec, stage_congestion_sigma,
+               job_congestion_sigma, straggler_prob, straggler_alpha,
+               straggler_cap, pn_cpu_sigma, pn_io_sigma, retry_prob,
+               retry_fraction] = c;
+  uint64_t h = HashU64(static_cast<uint64_t>(tokens), kFnvOffsetBasis);
+  for (double v :
+       {cpu_scan_row, cpu_filter_row, cpu_project_row, cpu_hash_build_row,
+        cpu_hash_probe_row, cpu_sort_row_log, cpu_agg_row, cpu_union_row,
+        cpu_exchange_byte, io_storage_read_byte, io_storage_write_byte,
+        io_shuffle_byte, stage_startup_sec, job_overhead_sec,
+        stage_congestion_sigma, job_congestion_sigma, straggler_prob,
+        straggler_alpha, straggler_cap, pn_cpu_sigma, pn_io_sigma, retry_prob,
+        retry_fraction}) {
+    h = HashDouble(v, h);
+  }
+  return MixHash(h);
+}
+
+ExecutionProfile ClusterSimulator::Prepare(const PhysicalPlan& plan,
+                                           const scope::Catalog& catalog) const {
+  prepares_.fetch_add(1, std::memory_order_relaxed);
+  ExecutionProfile p;
+  p.config_fingerprint = config_fingerprint_;
+  p.catalog_fingerprint = catalog.StatsFingerprint();
+
+  // Plan-level byte counters and total work, accumulated in node order (the
+  // exact summation order of the legacy Execute, so the doubles match
+  // bit-for-bit). One ComputeNodeWork pass serves both these totals and the
+  // per-stage aggregation below.
+  std::vector<NodeWork> works = ComputeAllNodeWork(plan, catalog, config_);
+  for (const NodeWork& w : works) {
+    p.data_read_bytes += w.io_read_bytes;
+    p.data_written_bytes += w.io_write_bytes;
+    p.total_cpu_sec += w.cpu_sec;
+    p.total_io_sec += w.io_sec;
+  }
+
+  std::vector<Stage> stages = DecomposeWithWork(plan, works);
+  p.stages.reserve(stages.size());
+  for (const Stage& s : stages) {
+    StageProfile sp;
+    sp.partitions = s.partitions;
+    sp.cpu_sec = s.cpu_sec;
+    sp.io_sec = s.io_sec;
+    sp.memory_bytes_per_vertex = s.memory_bytes_per_vertex;
+    sp.upstream = s.upstream;
+    int parts = std::max(1, s.partitions);
+    double per_vertex = (s.cpu_sec + s.io_sec) / parts;
+    int waves = (parts + config_.tokens - 1) / config_.tokens;
+    sp.waves_per_vertex_sec = static_cast<double>(waves) * per_vertex;
+    // The slowest vertex governs the wave; approximate the expected max of
+    // `parts` lognormals with a sqrt(log P) inflation.
+    sp.tail_inflation =
+        1.0 + 0.12 * std::sqrt(std::log(static_cast<double>(parts) + 1.0));
+    p.vertices += s.partitions;
+    p.stages.push_back(std::move(sp));
+  }
+
+  // Topological evaluation order matching the legacy memoized recursion
+  // (iterative DFS, roots visited in index order, upstream in vector order).
+  // Cycles cannot arise from exchange boundaries alone but are conceivable
+  // for shared-subtree DAGs; detect them so Execute can keep the legacy
+  // recursion's exact cycle-breaking semantics.
+  enum : uint8_t { kUnvisited = 0, kOnStack = 1, kDone = 2 };
+  std::vector<uint8_t> state(p.stages.size(), kUnvisited);
+  std::vector<std::pair<int, size_t>> dfs;  // (stage, next upstream position)
+  p.topo_order.reserve(p.stages.size());
+  for (size_t root = 0; root < p.stages.size(); ++root) {
+    if (state[root] != kUnvisited) continue;
+    state[root] = kOnStack;
+    dfs.emplace_back(static_cast<int>(root), 0);
+    while (!dfs.empty()) {
+      auto& [idx, pos] = dfs.back();
+      const std::vector<int>& upstream = p.stages[idx].upstream;
+      if (pos < upstream.size()) {
+        int up = upstream[pos++];
+        if (state[up] == kUnvisited) {
+          state[up] = kOnStack;
+          dfs.emplace_back(up, 0);
+        } else if (state[up] == kOnStack) {
+          p.has_cycle = true;
+        }
+      } else {
+        state[idx] = kDone;
+        p.topo_order.push_back(idx);
+        dfs.pop_back();
+      }
+    }
+  }
+  return p;
+}
+
+std::shared_ptr<const ExecutionProfile> ClusterSimulator::PrepareShared(
+    const PhysicalPlan& plan, const scope::Catalog& catalog) const {
+  return std::make_shared<const ExecutionProfile>(Prepare(plan, catalog));
+}
+
 JobMetrics ClusterSimulator::Execute(const PhysicalPlan& plan,
                                      const scope::Catalog& catalog,
                                      uint64_t run_seed) const {
+  unprepared_runs_.fetch_add(1, std::memory_order_relaxed);
+  return ExecuteProfile(Prepare(plan, catalog), run_seed);
+}
+
+JobMetrics ClusterSimulator::Execute(const ExecutionProfile& profile,
+                                     uint64_t run_seed) const {
+  prepared_runs_.fetch_add(1, std::memory_order_relaxed);
+  return ExecuteProfile(profile, run_seed);
+}
+
+std::vector<JobMetrics> ClusterSimulator::ExecuteRuns(
+    const ExecutionProfile& profile, uint64_t base_seed, int runs) const {
+  std::vector<JobMetrics> out;
+  out.reserve(runs > 0 ? static_cast<size_t>(runs) : 0);
+  for (int i = 0; i < runs; ++i) {
+    prepared_runs_.fetch_add(1, std::memory_order_relaxed);
+    out.push_back(ExecuteProfile(profile, base_seed + static_cast<uint64_t>(i)));
+  }
+  return out;
+}
+
+// The stochastic inner loop. Every arithmetic expression here mirrors the
+// legacy one-shot Execute exactly (same draw order, same association), so
+// prepared and unprepared runs produce bit-identical JobMetrics.
+JobMetrics ClusterSimulator::ExecuteProfile(const ExecutionProfile& p,
+                                            uint64_t run_seed) const {
   Rng rng(run_seed);
   JobMetrics m;
-
-  // Deterministic byte counters and total work.
-  double total_cpu = 0.0;
-  double total_io_sec = 0.0;
-  for (const auto& n : plan.nodes) {
-    NodeWork w = ComputeNodeWork(plan, n, catalog, config_);
-    m.data_read_bytes += w.io_read_bytes;
-    m.data_written_bytes += w.io_write_bytes;
-    total_cpu += w.cpu_sec;
-    total_io_sec += w.io_sec;
-  }
-
-  std::vector<Stage> stages = DecomposeIntoStages(plan, catalog, config_);
-
-  // Vertices = total task instances across stages.
-  for (const Stage& s : stages) m.vertices += s.partitions;
+  m.data_read_bytes = p.data_read_bytes;
+  m.data_written_bytes = p.data_written_bytes;
+  m.vertices = p.vertices;
 
   // --- PNhours: bounded noise, occasional retries. ---
   double cpu_noisy =
-      total_cpu * rng.LogNormal(0.0, config_.pn_cpu_sigma);
-  double io_noisy = total_io_sec * rng.LogNormal(0.0, config_.pn_io_sigma);
-  for (const Stage& s : stages) {
+      p.total_cpu_sec * rng.LogNormal(0.0, config_.pn_cpu_sigma);
+  double io_noisy = p.total_io_sec * rng.LogNormal(0.0, config_.pn_io_sigma);
+  for (const StageProfile& s : p.stages) {
     if (rng.Bernoulli(config_.retry_prob)) {
       double extra = config_.retry_fraction * rng.Uniform();
       cpu_noisy += s.cpu_sec * extra;
@@ -247,8 +406,8 @@ JobMetrics ClusterSimulator::Execute(const PhysicalPlan& plan,
   // congestion and heavy-tailed stragglers. ---
   // Draw per-stage noise first so the values do not depend on traversal
   // order (keeps runs reproducible for a given seed).
-  std::vector<double> stage_noise(stages.size(), 1.0);
-  for (size_t i = 0; i < stages.size(); ++i) {
+  std::vector<double> stage_noise(p.stages.size(), 1.0);
+  for (size_t i = 0; i < p.stages.size(); ++i) {
     double congestion = rng.LogNormal(0.0, config_.stage_congestion_sigma);
     double straggler = 1.0;
     if (rng.Bernoulli(config_.straggler_prob)) {
@@ -257,33 +416,40 @@ JobMetrics ClusterSimulator::Execute(const PhysicalPlan& plan,
     }
     stage_noise[i] = congestion * straggler;
   }
-  // Finish times via memoized recursion over the stage DAG (upstream stage
-  // indices are not monotonic when plans share subtrees).
-  std::vector<double> finish(stages.size(), -1.0);
-  std::function<double(size_t)> finish_of = [&](size_t idx) -> double {
-    if (finish[idx] >= 0.0) return finish[idx];
-    finish[idx] = 0.0;  // break (impossible) cycles defensively
-    const Stage& s = stages[idx];
-    double ready = 0.0;
-    for (int up : s.upstream) {
-      ready = std::max(ready, finish_of(static_cast<size_t>(up)));
-    }
-    int parts = std::max(1, s.partitions);
-    double per_vertex = (s.cpu_sec + s.io_sec) / parts;
-    int waves = (parts + config_.tokens - 1) / config_.tokens;
-    // The slowest vertex governs the wave; approximate the expected max of
-    // `parts` lognormals with a sqrt(log P) inflation.
-    double tail_inflation =
-        1.0 + 0.12 * std::sqrt(std::log(static_cast<double>(parts) + 1.0));
-    double duration = config_.stage_startup_sec +
-                      static_cast<double>(waves) * per_vertex *
-                          stage_noise[idx] * tail_inflation;
-    finish[idx] = ready + duration;
-    return finish[idx];
+  auto duration_of = [&](int idx) {
+    const StageProfile& s = p.stages[idx];
+    return config_.stage_startup_sec +
+           s.waves_per_vertex_sec * stage_noise[idx] * s.tail_inflation;
   };
+  std::vector<double> finish(p.stages.size(), -1.0);
+  if (!p.has_cycle) {
+    // Upstream finishes are resolved before their consumers in topo order:
+    // the memoized recursion collapses to one linear walk.
+    for (int idx : p.topo_order) {
+      double ready = 0.0;
+      for (int up : p.stages[idx].upstream) {
+        ready = std::max(ready, finish[up]);
+      }
+      finish[idx] = ready + duration_of(idx);
+    }
+  } else {
+    // Legacy memoized recursion, kept verbatim for its cycle-breaking
+    // semantics (finish reads 0.0 for a stage currently being computed).
+    std::function<double(size_t)> finish_of = [&](size_t idx) -> double {
+      if (finish[idx] >= 0.0) return finish[idx];
+      finish[idx] = 0.0;  // break cycles defensively
+      double ready = 0.0;
+      for (int up : p.stages[idx].upstream) {
+        ready = std::max(ready, finish_of(static_cast<size_t>(up)));
+      }
+      finish[idx] = ready + duration_of(static_cast<int>(idx));
+      return finish[idx];
+    };
+    for (size_t i = 0; i < p.stages.size(); ++i) finish_of(i);
+  }
   double critical = 0.0;
-  for (size_t i = 0; i < stages.size(); ++i) {
-    critical = std::max(critical, finish_of(i));
+  for (size_t i = 0; i < p.stages.size(); ++i) {
+    critical = std::max(critical, finish[i]);
   }
   double job_congestion = rng.LogNormal(0.0, config_.job_congestion_sigma);
   m.latency_sec = config_.job_overhead_sec * rng.LogNormal(0.0, 0.15) +
@@ -291,13 +457,13 @@ JobMetrics ClusterSimulator::Execute(const PhysicalPlan& plan,
 
   // --- Memory. ---
   double max_mem = 0.0, sum_mem = 0.0;
-  for (const Stage& s : stages) {
+  for (const StageProfile& s : p.stages) {
     double mem = s.memory_bytes_per_vertex * rng.LogNormal(0.0, 0.05);
     max_mem = std::max(max_mem, mem);
     sum_mem += mem;
   }
   m.max_memory_bytes = max_mem;
-  m.avg_memory_bytes = stages.empty() ? 0.0 : sum_mem / stages.size();
+  m.avg_memory_bytes = p.stages.empty() ? 0.0 : sum_mem / p.stages.size();
   return m;
 }
 

@@ -12,9 +12,20 @@
 //  - PNhours sums CPU and I/O time over all vertices; I/O bytes are
 //    deterministic given the plan and inputs, so PNhours variance stays
 //    bounded (Fig. 5).
+//
+// A/A and A/B flighting execute the *same* physical plan dozens of times
+// with only the run seed varying (paper Sec. 4.3), so the deterministic part
+// of a run — stage decomposition, per-stage noiseless work, byte counters,
+// vertex counts — is split out into an ExecutionProfile built once by
+// Prepare(). Execute(profile, seed) then performs only the stochastic draws
+// plus a linear walk over the pre-toposorted stages, and is byte-identical
+// to Execute(plan, catalog, seed) for every seed.
 #ifndef QO_EXEC_CLUSTER_H_
 #define QO_EXEC_CLUSTER_H_
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -83,27 +94,127 @@ std::vector<Stage> DecomposeIntoStages(const opt::PhysicalPlan& plan,
                                        const scope::Catalog& catalog,
                                        const ClusterConfig& config);
 
+/// The deterministic, noiseless slice of one stage, precomputed by
+/// ClusterSimulator::Prepare so the per-run inner loop touches no plan or
+/// catalog state.
+struct StageProfile {
+  int partitions = 1;
+  double cpu_sec = 0.0;  ///< total across vertices, noiseless
+  double io_sec = 0.0;
+  double memory_bytes_per_vertex = 0.0;
+  /// waves * ((cpu_sec + io_sec) / max(1, partitions)): the noiseless wave
+  /// time the per-run stage noise multiplies.
+  double waves_per_vertex_sec = 0.0;
+  /// Expected-max inflation for the slowest vertex of the wave.
+  double tail_inflation = 1.0;
+  std::vector<int> upstream;  ///< stages this stage waits for
+};
+
+/// Everything about a (plan, catalog, cluster config) triple that does not
+/// depend on the run seed: the stage DAG with per-stage noiseless work, the
+/// plan-level byte counters and work totals, and a topological evaluation
+/// order for the latency critical path. Immutable after Prepare() returns —
+/// safe to Execute() from any number of threads concurrently.
+struct ExecutionProfile {
+  /// Stages in decomposition order. This order fixes the RNG draw sequence,
+  /// so it must match DecomposeIntoStages exactly.
+  std::vector<StageProfile> stages;
+  /// Stage indices in upstream-before-consumer order (finish times resolve
+  /// in one linear walk). Empty only when `stages` is empty.
+  std::vector<int> topo_order;
+  /// Defensive: the stage graph of a shared-subtree DAG could in principle
+  /// contain a cycle; Execute then falls back to the legacy memoized
+  /// recursion so metrics stay byte-identical with the unprepared path.
+  bool has_cycle = false;
+  double total_cpu_sec = 0.0;
+  double total_io_sec = 0.0;
+  double data_read_bytes = 0.0;
+  double data_written_bytes = 0.0;
+  int vertices = 0;  ///< total task instances across stages
+  /// Fingerprint of the ClusterConfig this profile was prepared under; a
+  /// profile must only be executed by a simulator with the same config.
+  uint64_t config_fingerprint = 0;
+  /// Catalog-stats fingerprint at Prepare time: scan work bakes in table
+  /// sizes, so reuse is only sound while the statistics are unchanged.
+  uint64_t catalog_fingerprint = 0;
+};
+
+/// Content fingerprint over every ClusterConfig field (timing constants and
+/// noise parameters); used to guard profile reuse across simulators.
+uint64_t ClusterConfigFingerprint(const ClusterConfig& config);
+
 /// The cluster simulator. Each Execute() call is one run of the job; the
 /// `run_seed` determines all stochastic draws, so A/A runs with different
 /// seeds reproduce cluster variance while identical seeds are exactly
 /// repeatable.
 class ClusterSimulator {
  public:
-  explicit ClusterSimulator(ClusterConfig config = {}) : config_(config) {}
+  explicit ClusterSimulator(ClusterConfig config = {})
+      : config_(config),
+        config_fingerprint_(ClusterConfigFingerprint(config)) {}
+
+  /// Telemetry counters do not transfer: a copy starts counting from zero.
+  ClusterSimulator(const ClusterSimulator& o)
+      : config_(o.config_), config_fingerprint_(o.config_fingerprint_) {}
 
   const ClusterConfig& config() const { return config_; }
+  uint64_t config_fingerprint() const { return config_fingerprint_; }
 
   /// Executes `plan` once. The catalog supplies ground-truth table sizes for
   /// scan I/O. Byte counters in the result are noise-free (paper Sec. 4.3:
   /// "data read and data written remain constant" across A/A runs).
+  /// Re-derives the execution profile on every call; repeated runs of one
+  /// plan should Prepare() once and use the profile overload instead.
   /// Thread-safety: const and pure — every stochastic draw comes from a
   /// local Rng seeded with `run_seed` (no shared generator), and `config_`
   /// is immutable after construction; safe to call concurrently.
   JobMetrics Execute(const opt::PhysicalPlan& plan,
                      const scope::Catalog& catalog, uint64_t run_seed) const;
 
+  /// Builds the deterministic execution profile of `plan`: one pass of
+  /// ComputeNodeWork + DecomposeIntoStages, amortized across every later
+  /// Execute(profile, seed) call. Thread-safety: const and pure.
+  ExecutionProfile Prepare(const opt::PhysicalPlan& plan,
+                           const scope::Catalog& catalog) const;
+
+  /// Prepare() wrapped for shared caching (the engine attaches this to the
+  /// compilation cache's immutable CompilationOutput).
+  std::shared_ptr<const ExecutionProfile> PrepareShared(
+      const opt::PhysicalPlan& plan, const scope::Catalog& catalog) const;
+
+  /// Executes a prepared profile once: only the stochastic draws and the
+  /// linear critical-path walk run. Byte-identical to the plan overload for
+  /// every seed (asserted by exec_test). The profile must come from a
+  /// simulator with the same ClusterConfig. Thread-safety: const and pure;
+  /// one profile may be executed from many threads concurrently.
+  JobMetrics Execute(const ExecutionProfile& profile, uint64_t run_seed) const;
+
+  /// Batched A/A runs: Execute(profile, base_seed + i) for i in [0, runs).
+  std::vector<JobMetrics> ExecuteRuns(const ExecutionProfile& profile,
+                                      uint64_t base_seed, int runs) const;
+
+  /// Lifetime counters (relaxed atomics; exact under serial use, monotone
+  /// under concurrency): profile preparations, runs served from a profile,
+  /// and legacy runs that re-derived the profile in-line.
+  uint64_t profile_prepares() const {
+    return prepares_.load(std::memory_order_relaxed);
+  }
+  uint64_t prepared_runs() const {
+    return prepared_runs_.load(std::memory_order_relaxed);
+  }
+  uint64_t unprepared_runs() const {
+    return unprepared_runs_.load(std::memory_order_relaxed);
+  }
+
  private:
+  JobMetrics ExecuteProfile(const ExecutionProfile& profile,
+                            uint64_t run_seed) const;
+
   ClusterConfig config_;
+  uint64_t config_fingerprint_ = 0;
+  mutable std::atomic<uint64_t> prepares_{0};
+  mutable std::atomic<uint64_t> prepared_runs_{0};
+  mutable std::atomic<uint64_t> unprepared_runs_{0};
 };
 
 }  // namespace qo::exec

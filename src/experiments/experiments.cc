@@ -59,6 +59,12 @@ cache::CompileCacheOptions HarnessCacheOptions(const ExperimentConfig& config) {
   return options;
 }
 
+engine::ExecOptions HarnessExecOptions(const ExperimentConfig& config) {
+  engine::ExecOptions options = engine::ExecOptions::FromEnv();
+  if (config.prepared_exec >= 0) options.prepared = config.prepared_exec != 0;
+  return options;
+}
+
 /// A recommender wired to a throwaway personalizer, for experiments that
 /// need EvaluateFlip without learning.
 struct FlipEvaluator {
@@ -100,7 +106,7 @@ ExperimentEnv::ExperimentEnv(ExperimentConfig config)
       driver_({.num_templates = config.num_templates,
                .jobs_per_day = config.jobs_per_day,
                .seed = config.seed}),
-      engine_({}, {}, HarnessCacheOptions(config)),
+      engine_({}, {}, HarnessCacheOptions(config), HarnessExecOptions(config)),
       runtime_(HarnessRuntimeOptions(config)) {}
 
 telemetry::WorkloadView ExperimentEnv::BuildDayView(
@@ -191,9 +197,10 @@ VarianceResult RunAAVariance(const ExperimentEnv& env, Metric metric,
     auto compiled = env.engine().CompileShared(job, opt::RuleConfig::Default());
     if (!compiled.ok()) continue;
     RunningStats value, latency;
-    for (int run = 0; run < env.config().aa_runs; ++run) {
-      exec::JobMetrics m = env.engine().Execute(
-          job, (*compiled)->plan, static_cast<uint64_t>(run) + 1000);
+    // One prepared profile serves all A/A runs of the job; salts 1000..
+    // match the historical per-run loop exactly.
+    for (const exec::JobMetrics& m : env.engine().ExecuteRuns(
+             job, **compiled, 1000, env.config().aa_runs)) {
       value.Add(MetricOf(m, metric));
       latency.Add(m.latency_sec);
     }

@@ -32,6 +32,11 @@ struct ExperimentConfig {
   /// QO_COMPILE_CACHE from the environment (default on), 0 forces it off,
   /// 1 forces it on. Results are byte-identical for every value.
   int compile_cache = -1;
+  /// Prepared execution profiles for the harness's engine: -1 reads
+  /// QO_PREPARED_EXEC from the environment (default on), 0 forces the
+  /// legacy per-run decomposition, 1 forces prepared execution. Results are
+  /// byte-identical for every value.
+  int prepared_exec = -1;
 };
 
 /// Shared environment: workload + engine + helpers to execute a day and

@@ -190,17 +190,14 @@ Result<std::vector<exec::JobMetrics>> FlightingService::RunAA(
     const workload::JobInstance& job, const opt::RuleConfig& config, int runs,
     uint64_t run_salt) {
   // Shared with the compilation cache: an A/A of a job the pipeline already
-  // compiled pays no compile time at all.
+  // compiled pays no compile time at all. The batched ExecuteRuns likewise
+  // shares one prepared execution profile across all A/A runs — only the
+  // stochastic draws differ per run (paper Sec. 4.3).
   QO_ASSIGN_OR_RETURN(std::shared_ptr<const opt::CompilationOutput> compiled,
                       engine_->CompileShared(job, config));
-  std::vector<exec::JobMetrics> metrics;
-  metrics.reserve(static_cast<size_t>(runs));
-  for (int i = 0; i < runs; ++i) {
-    exec::JobMetrics m =
-        engine_->Execute(job, compiled->plan, run_salt * 1000 + i);
-    gate_.Spend(m.pn_hours);
-    metrics.push_back(m);
-  }
+  std::vector<exec::JobMetrics> metrics =
+      engine_->ExecuteRuns(job, *compiled, run_salt * 1000, runs);
+  for (const exec::JobMetrics& m : metrics) gate_.Spend(m.pn_hours);
   return metrics;
 }
 

@@ -1,0 +1,23 @@
+#include "telemetry/exec_telemetry.h"
+
+#include <cstdio>
+
+namespace qo::telemetry {
+
+std::string ExecProfileTelemetry::ToString() const {
+  char line[224];
+  std::snprintf(
+      line, sizeof(line),
+      "exec profiles:%s\n"
+      "  prepares=%llu prepared_runs=%llu unprepared_runs=%llu "
+      "slot_hits=%llu slot_misses=%llu reuse_rate=%.1f%%\n",
+      prepared_enabled ? "" : " (prepared exec disabled)",
+      static_cast<unsigned long long>(prepares),
+      static_cast<unsigned long long>(prepared_runs),
+      static_cast<unsigned long long>(unprepared_runs),
+      static_cast<unsigned long long>(profile_hits),
+      static_cast<unsigned long long>(profile_misses), 100.0 * reuse_rate());
+  return line;
+}
+
+}  // namespace qo::telemetry

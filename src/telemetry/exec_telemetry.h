@@ -1,0 +1,43 @@
+// Telemetry counters for the execution simulator's prepared profiles
+// (src/exec/ + the engine's profile slot on shared compilations).
+//
+// As with the compile-cache counters, this header defines the merged
+// snapshot shape the rest of the system consumes — pipeline reports, benches
+// and tests read these instead of poking at simulator internals.
+#ifndef QO_TELEMETRY_EXEC_TELEMETRY_H_
+#define QO_TELEMETRY_EXEC_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qo::telemetry {
+
+/// Snapshot of prepared-execution activity: how many execution profiles were
+/// prepared, how many runs were served from a profile vs re-derived the
+/// deterministic work inline, and how often the engine's per-compilation
+/// profile slot was reused vs filled.
+struct ExecProfileTelemetry {
+  /// False when QO_PREPARED_EXEC=0 pinned the engine to the legacy path.
+  bool prepared_enabled = false;
+  uint64_t prepares = 0;         ///< full Prepare() computations
+  uint64_t prepared_runs = 0;    ///< Execute(profile, seed) runs
+  uint64_t unprepared_runs = 0;  ///< legacy Execute(plan, catalog, seed) runs
+  uint64_t profile_hits = 0;     ///< engine slot lookups served by a profile
+  uint64_t profile_misses = 0;   ///< engine slot lookups that had to prepare
+
+  uint64_t runs() const { return prepared_runs + unprepared_runs; }
+  uint64_t slot_lookups() const { return profile_hits + profile_misses; }
+  /// Fraction of slot lookups that reused an already-prepared profile.
+  double reuse_rate() const {
+    uint64_t n = slot_lookups();
+    return n == 0 ? 0.0
+                  : static_cast<double>(profile_hits) / static_cast<double>(n);
+  }
+
+  /// Human-readable multi-line dump for benches and debugging.
+  std::string ToString() const;
+};
+
+}  // namespace qo::telemetry
+
+#endif  // QO_TELEMETRY_EXEC_TELEMETRY_H_

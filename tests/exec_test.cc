@@ -1,14 +1,39 @@
-// Execution simulator tests: stage decomposition, metric determinism, and
-// the variability model's statistical structure.
+// Execution simulator tests: stage decomposition (including shared-subtree
+// DAG golden cases), metric determinism, byte-identity of the prepared
+// execution path against the legacy per-run decomposition (standalone, under
+// concurrency, and through the full fig10-12/table2 pipeline), and the
+// variability model's statistical structure.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
 #include "common/stats.h"
+#include "engine/engine.h"
 #include "exec/cluster.h"
+#include "experiments/experiments.h"
 #include "optimizer/optimizer.h"
 #include "scope/compiler.h"
+#include "workload/workload.h"
 
 namespace qo::exec {
 namespace {
+
+/// Exact (bitwise) equality over every JobMetrics field — the prepared
+/// execution path must not perturb a single ulp.
+void ExpectMetricsBitEqual(const JobMetrics& a, const JobMetrics& b) {
+  EXPECT_EQ(a.latency_sec, b.latency_sec);
+  EXPECT_EQ(a.pn_hours, b.pn_hours);
+  EXPECT_EQ(a.vertices, b.vertices);
+  EXPECT_EQ(a.data_read_bytes, b.data_read_bytes);
+  EXPECT_EQ(a.data_written_bytes, b.data_written_bytes);
+  EXPECT_EQ(a.max_memory_bytes, b.max_memory_bytes);
+  EXPECT_EQ(a.avg_memory_bytes, b.avg_memory_bytes);
+  EXPECT_EQ(a.cpu_hours, b.cpu_hours);
+  EXPECT_EQ(a.io_hours, b.io_hours);
+}
 
 scope::Catalog SimCatalog() {
   scope::Catalog catalog;
@@ -155,6 +180,326 @@ TEST(ClusterSimTest, MetricsToStringMentionsFields) {
   std::string s = m.ToString();
   EXPECT_NE(s.find("latency"), std::string::npos);
   EXPECT_NE(s.find("vertices=7"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Shared-subtree DAGs: golden decomposition.
+// ---------------------------------------------------------------------------
+
+/// Two outputs sharing one scan; one consumer reads it through an exchange,
+/// the other directly:
+///
+///   Output(3) <- HashAgg(2) <- ExchangeShuffle(1) <- Scan(0)
+///   Output(5) <- Project(4) <-----------------------/
+opt::PhysicalPlan SharedSubtreeDag() {
+  opt::PhysicalPlan plan;
+  auto add = [&](opt::PhysOpKind kind, std::vector<int> children, int parts,
+                 double rows, double bytes) {
+    opt::PhysicalNode n;
+    n.kind = kind;
+    n.children = std::move(children);
+    n.partitions = parts;
+    n.true_rows = rows;
+    n.true_bytes = bytes;
+    return plan.AddNode(std::move(n));
+  };
+  int scan = add(opt::PhysOpKind::kScan, {}, 8, 1e6, 8e7);
+  int exchange = add(opt::PhysOpKind::kExchangeShuffle, {scan}, 4, 1e6, 8e7);
+  int agg = add(opt::PhysOpKind::kHashAgg, {exchange}, 4, 1e3, 8e4);
+  int out_a = add(opt::PhysOpKind::kOutput, {agg}, 1, 1e3, 8e4);
+  int project = add(opt::PhysOpKind::kProject, {scan}, 8, 1e6, 4e7);
+  int out_b = add(opt::PhysOpKind::kOutput, {project}, 1, 1e6, 4e7);
+  plan.roots = {out_a, out_b};
+  return plan;
+}
+
+TEST(StageDecompositionTest, SharedSubtreeDagGolden) {
+  opt::PhysicalPlan plan = SharedSubtreeDag();
+  scope::Catalog catalog;  // scans fall back to node bytes: no table stats
+  auto stages = DecomposeIntoStages(plan, catalog, {});
+  ASSERT_EQ(stages.size(), 3u);
+  // Root A's pipeline, then the exchange-opened producer stage, then root
+  // B's pipeline (stage creation follows the DFS visit order).
+  EXPECT_EQ(stages[0].node_ids, (std::vector<int>{3, 2}));
+  EXPECT_EQ(stages[1].node_ids, (std::vector<int>{1, 0}));
+  EXPECT_EQ(stages[2].node_ids, (std::vector<int>{5, 4}));
+  // Both consumers wait on the shared producer stage; the producer waits on
+  // nothing.
+  EXPECT_EQ(stages[0].upstream, (std::vector<int>{1}));
+  EXPECT_TRUE(stages[1].upstream.empty());
+  EXPECT_EQ(stages[2].upstream, (std::vector<int>{1}));
+  // The exchange runs in its producer's partitions; the agg stage is 4-wide.
+  EXPECT_EQ(stages[0].partitions, 4);
+  EXPECT_EQ(stages[1].partitions, 8);
+  EXPECT_EQ(stages[2].partitions, 8);
+  // The shared scan's work lands in exactly one stage.
+  size_t assigned = 0;
+  for (const auto& s : stages) assigned += s.node_ids.size();
+  EXPECT_EQ(assigned, plan.size());
+}
+
+// ---------------------------------------------------------------------------
+// Prepared execution: byte-identity, batching, concurrency, counters.
+// ---------------------------------------------------------------------------
+
+TEST(PreparedExecutionTest, ByteIdenticalToUnpreparedAcrossSeeds) {
+  scope::Catalog catalog = SimCatalog();
+  opt::PhysicalPlan plan = CompileTestPlan(catalog);
+  ClusterSimulator sim;
+  ExecutionProfile profile = sim.Prepare(plan, catalog);
+  EXPECT_FALSE(profile.has_cycle);
+  EXPECT_EQ(profile.topo_order.size(), profile.stages.size());
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    ExpectMetricsBitEqual(sim.Execute(plan, catalog, seed),
+                          sim.Execute(profile, seed));
+  }
+}
+
+TEST(PreparedExecutionTest, SharedSubtreeDagByteIdentical) {
+  opt::PhysicalPlan plan = SharedSubtreeDag();
+  scope::Catalog catalog;
+  ClusterSimulator sim;
+  ExecutionProfile profile = sim.Prepare(plan, catalog);
+  for (uint64_t seed = 100; seed < 132; ++seed) {
+    ExpectMetricsBitEqual(sim.Execute(plan, catalog, seed),
+                          sim.Execute(profile, seed));
+  }
+}
+
+TEST(PreparedExecutionTest, ExecuteRunsMatchesIndividualRuns) {
+  scope::Catalog catalog = SimCatalog();
+  opt::PhysicalPlan plan = CompileTestPlan(catalog);
+  ClusterSimulator sim;
+  ExecutionProfile profile = sim.Prepare(plan, catalog);
+  std::vector<JobMetrics> batch = sim.ExecuteRuns(profile, 7000, 20);
+  ASSERT_EQ(batch.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    ExpectMetricsBitEqual(batch[i],
+                          sim.Execute(profile, 7000 + static_cast<uint64_t>(i)));
+  }
+}
+
+TEST(PreparedExecutionTest, ConcurrentProfileRunsMatchSerial) {
+  scope::Catalog catalog = SimCatalog();
+  opt::PhysicalPlan plan = CompileTestPlan(catalog);
+  ClusterSimulator sim;
+  auto profile = sim.PrepareShared(plan, catalog);
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 64;
+  std::vector<JobMetrics> serial;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int r = 0; r < kRunsPerThread; ++r) {
+      serial.push_back(
+          sim.Execute(*profile, static_cast<uint64_t>(t * 1000 + r)));
+    }
+  }
+  // The same runs, fanned out: one immutable profile hammered from four
+  // threads (the PR 2 runtime-pool usage pattern) must reproduce the serial
+  // metrics exactly.
+  std::vector<JobMetrics> parallel(serial.size());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRunsPerThread; ++r) {
+        parallel[t * kRunsPerThread + r] =
+            sim.Execute(*profile, static_cast<uint64_t>(t * 1000 + r));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ExpectMetricsBitEqual(parallel[i], serial[i]);
+  }
+}
+
+TEST(PreparedExecutionTest, TelemetryCountersTrack) {
+  scope::Catalog catalog = SimCatalog();
+  opt::PhysicalPlan plan = CompileTestPlan(catalog);
+  ClusterSimulator sim;
+  EXPECT_EQ(sim.profile_prepares(), 0u);
+  ExecutionProfile profile = sim.Prepare(plan, catalog);
+  EXPECT_EQ(sim.profile_prepares(), 1u);
+  sim.Execute(profile, 1);
+  sim.ExecuteRuns(profile, 2, 3);
+  EXPECT_EQ(sim.prepared_runs(), 4u);
+  EXPECT_EQ(sim.unprepared_runs(), 0u);
+  sim.Execute(plan, catalog, 1);  // legacy path: prepares inline
+  EXPECT_EQ(sim.unprepared_runs(), 1u);
+  EXPECT_EQ(sim.profile_prepares(), 2u);
+}
+
+TEST(PreparedExecutionTest, AAVarianceStructure) {
+  // Paper Figs. 3/5 through the prepared path: A/A latency is noisy (CV
+  // well above the 5% line) while PNhours stays bounded.
+  scope::Catalog catalog = SimCatalog();
+  opt::PhysicalPlan plan = CompileTestPlan(catalog);
+  ClusterSimulator sim;
+  ExecutionProfile profile = sim.Prepare(plan, catalog);
+  RunningStats latency, pn;
+  for (const JobMetrics& m : sim.ExecuteRuns(profile, 0, 40)) {
+    latency.Add(m.latency_sec);
+    pn.Add(m.pn_hours);
+  }
+  EXPECT_GT(latency.cv(), 0.05);
+  EXPECT_LT(pn.cv(), 0.15);
+  EXPECT_LT(pn.cv(), latency.cv());
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: the profile slot on shared compilations.
+// ---------------------------------------------------------------------------
+
+const workload::JobInstance& EngineTestJob() {
+  static const auto* job = [] {
+    workload::WorkloadDriver driver(
+        {.num_templates = 6, .jobs_per_day = 8, .seed = 77});
+    return new workload::JobInstance(driver.DayJobs(0)[0]);
+  }();
+  return *job;
+}
+
+TEST(EnginePreparedTest, ExecuteOverloadsAndKnobAgree) {
+  // Pin both knobs so the test is independent of the CI matrix leg's
+  // QO_PREPARED_EXEC / QO_COMPILE_CACHE environment.
+  engine::ScopeEngine prepared({}, {}, cache::CompileCacheOptions::FromEnv(),
+                               {.prepared = true});
+  engine::ScopeEngine legacy({}, {}, cache::CompileCacheOptions::FromEnv(),
+                             {.prepared = false});
+  EXPECT_TRUE(prepared.prepared_exec_enabled());
+  EXPECT_FALSE(legacy.prepared_exec_enabled());
+  const workload::JobInstance& job = EngineTestJob();
+  auto compiled = prepared.CompileShared(job, opt::RuleConfig::Default());
+  ASSERT_TRUE(compiled.ok());
+  auto compiled_legacy = legacy.CompileShared(job, opt::RuleConfig::Default());
+  ASSERT_TRUE(compiled_legacy.ok());
+  for (uint64_t salt : {0ull, 1ull, 17ull, 123456789ull}) {
+    JobMetrics via_profile = prepared.Execute(job, **compiled, salt);
+    JobMetrics via_plan = prepared.Execute(job, (*compiled)->plan, salt);
+    JobMetrics via_legacy_engine =
+        legacy.Execute(job, **compiled_legacy, salt);
+    ExpectMetricsBitEqual(via_profile, via_plan);
+    ExpectMetricsBitEqual(via_profile, via_legacy_engine);
+  }
+  std::vector<JobMetrics> batch = prepared.ExecuteRuns(job, **compiled, 50, 8);
+  ASSERT_EQ(batch.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    ExpectMetricsBitEqual(batch[i], prepared.Execute(job, **compiled, 50 + i));
+  }
+}
+
+TEST(EnginePreparedTest, ProfileSlotIsReusedAcrossRuns) {
+  // The compile cache must be on regardless of the CI matrix leg's
+  // QO_COMPILE_CACHE: slot reuse rides on both runs sharing one cached
+  // CompilationOutput.
+  engine::ScopeEngine engine({}, {}, {.enabled = true}, {});
+  const workload::JobInstance& job = EngineTestJob();
+  auto first = engine.Run(job, opt::RuleConfig::Default(), 1);
+  ASSERT_TRUE(first.ok());
+  auto again = engine.Run(job, opt::RuleConfig::Default(), 2);
+  ASSERT_TRUE(again.ok());
+  telemetry::ExecProfileTelemetry t = engine.exec_profile_telemetry();
+  EXPECT_TRUE(t.prepared_enabled);
+  // The compilation cache hands back the same CompilationOutput, so the
+  // second run reuses the profile prepared by the first.
+  EXPECT_EQ(t.prepares, 1u);
+  EXPECT_EQ(t.profile_misses, 1u);
+  EXPECT_GE(t.profile_hits, 1u);
+  EXPECT_GT(t.reuse_rate(), 0.0);
+  // And the profile both runs used is the one in the slot.
+  auto profile = engine.PrepareProfile(job, *first->compilation);
+  EXPECT_EQ(profile.get(), first->compilation->exec_profile.Load().get());
+}
+
+TEST(EnginePreparedTest, FromEnvKnobParses) {
+  const char* saved = std::getenv("QO_PREPARED_EXEC");
+  setenv("QO_PREPARED_EXEC", "0", 1);
+  EXPECT_FALSE(engine::ExecOptions::FromEnv().prepared);
+  setenv("QO_PREPARED_EXEC", "1", 1);
+  EXPECT_TRUE(engine::ExecOptions::FromEnv().prepared);
+  unsetenv("QO_PREPARED_EXEC");
+  EXPECT_TRUE(engine::ExecOptions::FromEnv().prepared);
+  if (saved != nullptr) setenv("QO_PREPARED_EXEC", saved, 1);
+}
+
+TEST(EnginePreparedTest, CatalogDriftInvalidatesProfileReuse) {
+  // A profile bakes in scan sizes from the catalog; if a job's statistics
+  // drift, the prepared overload must re-prepare rather than serve metrics
+  // for the old table sizes.
+  engine::ScopeEngine engine({}, {}, {.enabled = true}, {.prepared = true});
+  workload::JobInstance job;
+  job.job_id = "drift_job";
+  job.script = R"(
+    f = EXTRACT k:long, grp:string, v:double FROM "fact";
+    d = EXTRACT pk:long, attr:string FROM "dim";
+    j = SELECT * FROM f JOIN d ON k == pk @ 1.0;
+    a = SELECT grp, SUM(v) AS s FROM j GROUP BY grp;
+    OUTPUT a TO "out";
+  )";
+  job.catalog = SimCatalog();
+  auto compiled = engine.CompileShared(job, opt::RuleConfig::Default());
+  ASSERT_TRUE(compiled.ok());
+  JobMetrics before = engine.Execute(job, **compiled, 3);
+  // Drift: double the fact table on this job's private catalog copy.
+  scope::TableStats fact = *job.catalog.Lookup("fact").value();
+  fact.true_rows *= 2;
+  job.catalog.RegisterTable("fact", fact);
+  JobMetrics after_prepared = engine.Execute(job, **compiled, 3);
+  JobMetrics after_plan = engine.Execute(job, (*compiled)->plan, 3);
+  // The prepared path must track the drifted catalog exactly like the
+  // legacy path does (and the drift must actually change the metrics).
+  ExpectMetricsBitEqual(after_prepared, after_plan);
+  EXPECT_NE(before.pn_hours, after_prepared.pn_hours);
+}
+
+// ---------------------------------------------------------------------------
+// Full pipeline byte-identity: the fig10-12/table2 aggregate-impact runs
+// (train + eval) must be unchanged by prepared execution, with the compile
+// cache on or off and at 1 or 4 worker threads.
+// ---------------------------------------------------------------------------
+
+experiments::AggregateImpactResult RunPipeline(int prepared, int compile_cache,
+                                               int threads) {
+  experiments::ExperimentEnv env({.threads = threads,
+                                  .compile_cache = compile_cache,
+                                  .prepared_exec = prepared});
+  return experiments::RunAggregateImpact(env, /*train_days=*/12,
+                                         /*eval_days=*/3);
+}
+
+void ExpectAggregateEqual(const experiments::AggregateImpactResult& a,
+                          const experiments::AggregateImpactResult& b,
+                          const char* label) {
+  EXPECT_EQ(a.matched_jobs, b.matched_jobs) << label;
+  EXPECT_EQ(a.active_hints, b.active_hints) << label;
+  EXPECT_EQ(a.pn_hours_reduction, b.pn_hours_reduction) << label;
+  EXPECT_EQ(a.latency_reduction, b.latency_reduction) << label;
+  EXPECT_EQ(a.vertices_reduction, b.vertices_reduction) << label;
+  EXPECT_EQ(a.pn_deltas, b.pn_deltas) << label;
+  EXPECT_EQ(a.latency_deltas, b.latency_deltas) << label;
+  EXPECT_EQ(a.vertices_deltas, b.vertices_deltas) << label;
+}
+
+TEST(PreparedPipelineTest, AggregateImpactByteIdenticalAcrossMatrix) {
+  experiments::AggregateImpactResult reference = RunPipeline(
+      /*prepared=*/1, /*compile_cache=*/1, /*threads=*/1);
+  // The pipeline must have produced hints and matched jobs for the
+  // comparison to mean anything.
+  ASSERT_GT(reference.matched_jobs, 0);
+  ASSERT_GT(reference.active_hints, 0u);
+  for (int compile_cache : {1, 0}) {
+    for (int threads : {1, 4}) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "cache=%d threads=%d", compile_cache,
+                    threads);
+      experiments::AggregateImpactResult unprepared =
+          RunPipeline(0, compile_cache, threads);
+      ExpectAggregateEqual(reference, unprepared, label);
+      if (compile_cache == 1 && threads == 1) continue;  // the reference
+      experiments::AggregateImpactResult prepared =
+          RunPipeline(1, compile_cache, threads);
+      ExpectAggregateEqual(reference, prepared, label);
+    }
+  }
 }
 
 // Parameterized: the variability knobs behave monotonically.
