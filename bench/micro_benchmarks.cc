@@ -171,6 +171,87 @@ void BM_SpanFixpointCached(benchmark::State& state) {
 }
 BENCHMARK(BM_SpanFixpointCached);
 
+// --- Contextual bandit (src/bandit/): the canonical sparse representation.
+// CombineFeatures builds one canonical (context x action) vector; TrainEpoch
+// is the linear SGD sweep over shared combined vectors; Retrain measures the
+// Personalizer's incremental retraining path (pending batch only, no
+// history rescan, no feature deep-copies).
+
+bandit::FeatureVector BenchContext() {
+  bandit::JobContext ctx;
+  ctx.span = BitVector256::FromPositions({41, 44, 50, 160, 203, 204});
+  ctx.row_count = 1e8;
+  ctx.est_cost = 1e4;
+  return bandit::BuildContextFeatures(ctx);
+}
+
+void BM_CombineFeatures(benchmark::State& state) {
+  bandit::FeatureVector shared = BenchContext();
+  bandit::FeatureVector action = bandit::BuildActionFeatures(41, false);
+  for (auto _ : state) {
+    auto combined = bandit::CombineFeatures(shared, action);
+    benchmark::DoNotOptimize(combined);
+  }
+}
+BENCHMARK(BM_CombineFeatures);
+
+void BM_CbTrainEpoch(benchmark::State& state) {
+  bandit::FeatureVector shared = BenchContext();
+  std::vector<bandit::LoggedExample> examples;
+  for (int i = 0; i < 256; ++i) {
+    bandit::FeatureVector action =
+        bandit::BuildActionFeatures(41 + (i % 6), false);
+    examples.push_back({bandit::CombineFeaturesShared(shared, action),
+                        i % 2 == 0 ? 1.5 : 0.5, 1.0 / 7.0});
+  }
+  bandit::CbModel model;
+  for (auto _ : state) {
+    model.TrainEpoch(examples);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(examples.size()));
+}
+BENCHMARK(BM_CbTrainEpoch);
+
+void BM_PersonalizerRetrain(benchmark::State& state) {
+  bandit::PersonalizerService service(
+      {.seed = 5, .retrain_interval = 1000000});
+  bandit::FeatureVector context = BenchContext();
+  std::vector<bandit::RankableAction> actions;
+  for (int bit : {41, 44, 50, 160, 203, 204}) {
+    actions.push_back({std::to_string(bit),
+                       bandit::BuildActionFeatures(bit, false)});
+  }
+  uint64_t i = 0;
+  const int kBatch = 256;
+  for (auto _ : state) {
+    // Feed one retrain batch off the clock; measure only the retrain.
+    state.PauseTiming();
+    auto combined = bandit::CombineActionSet(context, actions);
+    for (int k = 0; k < kBatch; ++k) {
+      bandit::RankRequest req;
+      // Reserved build + move assign: sidesteps the GCC 12 -Wrestrict
+      // false positive on the string grow path (see BM_PersonalizerRank).
+      std::string event_id;
+      event_id.reserve(24);
+      event_id.push_back('r');
+      event_id += std::to_string(i++);
+      req.event_id = std::move(event_id);
+      req.actions = actions;
+      req.explore_uniform = true;
+      req.precombined = combined;
+      auto resp = service.Rank(req);
+      service.Reward(resp->event_id, k % 2 == 0 ? 1.5 : 0.5).ok();
+    }
+    state.ResumeTiming();
+    service.Retrain();
+    benchmark::DoNotOptimize(service);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_PersonalizerRetrain);
+
 void BM_PersonalizerRank(benchmark::State& state) {
   bandit::PersonalizerService service({.seed = 3});
   bandit::JobContext ctx;
@@ -201,6 +282,36 @@ void BM_PersonalizerRank(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PersonalizerRank);
+
+// BM_PersonalizerRank combines (and now canonicalizes) context x action
+// inline per call — the cold path. The pipeline always ranks through the
+// Recommender's per-job combined-feature cache instead; this variant
+// measures that served path (one CombineActionSet amortized across the
+// probes + acting arm of a job, here across the whole run).
+void BM_PersonalizerRankPrecombined(benchmark::State& state) {
+  bandit::PersonalizerService service({.seed = 3});
+  bandit::FeatureVector shared = BenchContext();
+  std::vector<bandit::RankableAction> actions;
+  for (int bit : {41, 44, 50, 160, 203, 204}) {
+    actions.push_back({std::to_string(bit),
+                       bandit::BuildActionFeatures(bit, false)});
+  }
+  auto combined = bandit::CombineActionSet(shared, actions);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    bandit::RankRequest req;
+    std::string event_id;
+    event_id.reserve(24);
+    event_id.push_back('e');
+    event_id += std::to_string(i++);
+    req.event_id = std::move(event_id);
+    req.actions = actions;
+    req.precombined = combined;
+    auto resp = service.Rank(req);
+    benchmark::DoNotOptimize(resp);
+  }
+}
+BENCHMARK(BM_PersonalizerRankPrecombined);
 
 // --- Parallel runtime: threads=N axes. On a single hardware thread these
 // show the runtime's overhead ceiling; on multi-core they show the fan-out

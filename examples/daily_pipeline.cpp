@@ -75,11 +75,13 @@ int main(int argc, char** argv) {
     std::printf("  (no hint matched on day %d — try more days)\n", days);
   }
 
-  // How much recompilation the two-level cache absorbed across the run, and
-  // how many stage decompositions the prepared execution profiles amortized.
+  // How much recompilation the two-level cache absorbed across the run, how
+  // many stage decompositions the prepared execution profiles amortized, and
+  // how the bandit's combined-feature cache / incremental retrainer fared.
   std::printf("\n%s",
               env.engine().compile_cache_telemetry().ToString().c_str());
   std::printf("%s",
               env.engine().exec_profile_telemetry().ToString().c_str());
+  std::printf("%s", pipeline.personalizer().telemetry().ToString().c_str());
   return 0;
 }

@@ -8,31 +8,35 @@ CbModel::CbModel(CbModelConfig config) : config_(config) {
   weights_.assign(FeatureVector::kDim, 0.0f);
 }
 
-double CbModel::Score(
-    const std::vector<std::pair<uint32_t, double>>& features) const {
+double CbModel::Score(const SparseVector& features) const {
   double s = 0.0;
-  for (const auto& [i, v] : features) {
+  for (const auto& [i, v] : features.entries()) {
     s += static_cast<double>(weights_[i]) * v;
   }
   return s;
 }
 
 void CbModel::TrainEpoch(const std::vector<LoggedExample>& examples) {
+  // The per-example L2 decay factor is constant across the epoch; the
+  // canonical features guarantee each weight appears once per example, so
+  // applying it inside the update sweep decays each touched weight exactly
+  // once per example.
+  const double decay = 1.0 - config_.learning_rate * config_.l2;
   for (const LoggedExample& ex : examples) {
+    if (ex.features == nullptr) continue;
+    const SparseVector& features = *ex.features;
     double iw = 1.0 / std::max(ex.probability, 1e-6);
     iw = std::min(iw, config_.max_importance_weight);
-    double pred = Score(ex.features);
-    // Normalized LMS: scale by the squared feature norm so one update moves
-    // the prediction by at most (learning_rate * iw) of the error,
-    // regardless of how many hashed features are active.
-    double norm_sq = 0.0;
-    for (const auto& [i, v] : ex.features) norm_sq += v * v;
+    double pred = Score(features);
+    // Normalized LMS: scale by the squared feature norm (cached at
+    // canonicalization) so one update moves the prediction by at most
+    // (learning_rate * iw) of the error, regardless of how many hashed
+    // features are active.
     double grad_scale = config_.learning_rate * iw * (ex.reward - pred) /
-                        std::max(1.0, norm_sq);
-    for (const auto& [i, v] : ex.features) {
+                        std::max(1.0, features.norm_sq());
+    for (const auto& [i, v] : features.entries()) {
       float& w = weights_[i];
-      w = static_cast<float>(w * (1.0 - config_.learning_rate * config_.l2) +
-                             grad_scale * v);
+      w = static_cast<float>(w * decay + grad_scale * v);
     }
     ++updates_;
   }

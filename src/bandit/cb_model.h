@@ -1,22 +1,30 @@
 // Linear contextual-bandit model with importance-weighted SGD training.
 //
-// Scores (shared, action) feature pairs with a hashed linear model; learns
-// from logged (features, reward, logging-probability) triples using inverse
-// propensity scoring — the standard off-policy reduction to regression
-// (paper Sec. 3.1, [2, 40]).
+// Scores canonical (shared, action) combined vectors with a hashed linear
+// model; learns from logged (features, reward, logging-probability) triples
+// using inverse propensity scoring — the standard off-policy reduction to
+// regression (paper Sec. 3.1, [2, 40]).
+//
+// All features are canonical SparseVectors (sorted, coalesced, norm
+// cached), so Score and TrainEpoch are branch-light linear sweeps that
+// touch each weight exactly once per example: L2 decay applies once per
+// weight and the normalized-LMS bound uses the true coalesced norm.
 #ifndef QO_BANDIT_CB_MODEL_H_
 #define QO_BANDIT_CB_MODEL_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bandit/features.h"
 
 namespace qo::bandit {
 
-/// One logged interaction, ready for training.
+/// One logged interaction, ready for training. Features are shared with the
+/// Personalizer's event log and the Recommender's per-job combined-feature
+/// cache — building an example never deep-copies a feature vector.
 struct LoggedExample {
-  std::vector<std::pair<uint32_t, double>> features;  ///< combined features
+  std::shared_ptr<const SparseVector> features;  ///< combined features
   double reward = 0.0;
   double probability = 1.0;  ///< probability the logging policy chose this
 };
@@ -35,10 +43,11 @@ class CbModel {
   explicit CbModel(CbModelConfig config = {});
 
   /// Predicted reward for a combined feature vector.
-  double Score(const std::vector<std::pair<uint32_t, double>>& features) const;
+  double Score(const SparseVector& features) const;
 
   /// One SGD pass over the examples with IPS weighting (examples with low
-  /// logging probability get up-weighted, subject to clipping).
+  /// logging probability get up-weighted, subject to clipping). Examples
+  /// with null features are skipped.
   void TrainEpoch(const std::vector<LoggedExample>& examples);
 
   /// Runs config.epochs passes.

@@ -1,10 +1,81 @@
 #include "bandit/features.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "optimizer/rules.h"
 
 namespace qo::bandit {
+
+namespace {
+
+/// Stable two-pass LSD radix sort by index. Feature indices live in the
+/// kDim = 2^18 hashed space, which factors exactly into two 9-bit digits —
+/// two counting passes beat comparison sorting on the large combined
+/// vectors (a 30-bit span combines to ~2000 entries) and this kernel sits
+/// on the pipeline's hottest path (one canonicalization per combine).
+void RadixSortByIndex(std::vector<std::pair<uint32_t, double>>* entries) {
+  static_assert(FeatureVector::kDim == (1u << 18),
+                "radix digit layout assumes an 18-bit index space");
+  constexpr uint32_t kRadixBits = 9;
+  constexpr uint32_t kBuckets = 1u << kRadixBits;
+  constexpr uint32_t kMask = kBuckets - 1;
+  auto& e = *entries;
+  std::vector<std::pair<uint32_t, double>> scratch(e.size());
+  uint32_t counts[kBuckets];
+  for (uint32_t shift : {0u, kRadixBits}) {
+    std::fill(std::begin(counts), std::end(counts), 0u);
+    for (const auto& [index, value] : e) ++counts[(index >> shift) & kMask];
+    uint32_t offset = 0;
+    for (uint32_t b = 0; b < kBuckets; ++b) {
+      uint32_t c = counts[b];
+      counts[b] = offset;
+      offset += c;
+    }
+    for (const auto& entry : e) {
+      scratch[counts[(entry.first >> shift) & kMask]++] = entry;
+    }
+    e.swap(scratch);
+  }
+}
+
+/// Shared canonicalization kernel: sort by index, coalesce runs of equal
+/// indices by summing their values. Returns the squared L2 norm of the
+/// coalesced values.
+double SortAndCoalesce(std::vector<std::pair<uint32_t, double>>* entries) {
+  // Small vectors (single actions, short spans) sort faster by comparison;
+  // the radix passes win once the counting arrays amortize.
+  constexpr size_t kRadixThreshold = 256;
+  if (entries->size() >= kRadixThreshold) {
+    RadixSortByIndex(entries);
+  } else {
+    std::sort(entries->begin(), entries->end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  auto& e = *entries;
+  size_t out = 0;
+  double norm_sq = 0.0;
+  for (size_t i = 0; i < e.size();) {
+    const uint32_t index = e[i].first;
+    double sum = e[i].second;
+    for (++i; i < e.size() && e[i].first == index; ++i) sum += e[i].second;
+    norm_sq += sum * sum;
+    e[out++] = {index, sum};
+  }
+  e.resize(out);
+  return norm_sq;
+}
+
+}  // namespace
+
+SparseVector SparseVector::Canonicalize(
+    std::vector<std::pair<uint32_t, double>> raw) {
+  for (auto& [index, value] : raw) index %= FeatureVector::kDim;
+  SparseVector v;
+  v.entries_ = std::move(raw);
+  v.norm_sq_ = SortAndCoalesce(&v.entries_);
+  return v;
+}
 
 uint64_t HashFeatureName(const std::string& name) {
   uint64_t h = 0xcbf29ce484222325ULL;
@@ -19,6 +90,8 @@ void FeatureVector::AddNamed(const std::string& name, double value) {
   Add(static_cast<uint32_t>(HashFeatureName(name)), value);
 }
 
+void FeatureVector::Canonicalize() { SortAndCoalesce(&entries); }
+
 namespace {
 
 int LogBucket(double v) {
@@ -26,19 +99,26 @@ int LogBucket(double v) {
   return static_cast<int>(std::log10(v));
 }
 
-uint32_t MixPair(int a, int b) {
+// Unsigned operands throughout: feature indices are uint32_t, and funneling
+// them through int (as an earlier revision did) relied on
+// implementation-defined narrowing for the upper half of the index space.
+// For all in-range inputs (span bits, kDim-reduced indices) the arithmetic —
+// and therefore every hashed feature id — is unchanged.
+uint32_t MixPair(uint32_t a, uint32_t b) {
   uint64_t h = (static_cast<uint64_t>(a) + 1) * 0x9e3779b97f4a7c15ULL;
   h ^= (static_cast<uint64_t>(b) + 1) * 0xbf58476d1ce4e5b9ULL;
   h ^= h >> 29;
   return static_cast<uint32_t>(h);
 }
 
-uint32_t MixTriple(int a, int b, int c) {
+uint32_t MixTriple(uint32_t a, uint32_t b, uint32_t c) {
   uint64_t h = MixPair(a, b);
   h = h * 0x94d049bb133111ebULL + (static_cast<uint64_t>(c) + 1);
   h ^= h >> 31;
   return static_cast<uint32_t>(h);
 }
+
+uint32_t Bit(int span_bit) { return static_cast<uint32_t>(span_bit); }
 
 }  // namespace
 
@@ -55,7 +135,7 @@ FeatureVector BuildContextFeatures(const JobContext& context) {
   // long-tailed spans.
   for (size_t i = 0; i < span_bits.size(); ++i) {
     for (size_t j = i + 1; j < span_bits.size(); ++j) {
-      f.Add(0x40000000u ^ MixPair(span_bits[i], span_bits[j]), 1.0);
+      f.Add(0x40000000u ^ MixPair(Bit(span_bits[i]), Bit(span_bits[j])), 1.0);
     }
   }
   const size_t kTripleCap = 12;
@@ -63,8 +143,8 @@ FeatureVector BuildContextFeatures(const JobContext& context) {
   for (size_t i = 0; i < n3; ++i) {
     for (size_t j = i + 1; j < n3; ++j) {
       for (size_t k = j + 1; k < n3; ++k) {
-        f.Add(0x80000000u ^
-                  MixTriple(span_bits[i], span_bits[j], span_bits[k]),
+        f.Add(0x80000000u ^ MixTriple(Bit(span_bits[i]), Bit(span_bits[j]),
+                                      Bit(span_bits[k])),
               1.0);
       }
     }
@@ -77,6 +157,7 @@ FeatureVector BuildContextFeatures(const JobContext& context) {
                  std::to_string(LogBucket(context.total_vertices)),
              1.0);
   f.AddNamed("bias", 1.0);
+  f.Canonicalize();
   return f;
 }
 
@@ -91,11 +172,12 @@ FeatureVector BuildActionFeatures(int rule_id, bool is_noop) {
   f.AddNamed(std::string("action_cat_") +
                  opt::RuleCategoryToString(registry.category(rule_id)),
              1.0);
+  f.Canonicalize();
   return f;
 }
 
-std::vector<std::pair<uint32_t, double>> CombineFeatures(
-    const FeatureVector& shared, const FeatureVector& action) {
+SparseVector CombineFeatures(const FeatureVector& shared,
+                             const FeatureVector& action) {
   std::vector<std::pair<uint32_t, double>> combined;
   combined.reserve(shared.size() + action.size() +
                    shared.size() * action.size());
@@ -104,12 +186,15 @@ std::vector<std::pair<uint32_t, double>> CombineFeatures(
   // Quadratic shared x action interactions.
   for (const auto& [si, sv] : shared.entries) {
     for (const auto& [ai, av] : action.entries) {
-      uint32_t idx = MixPair(static_cast<int>(si), static_cast<int>(ai)) %
-                     FeatureVector::kDim;
-      combined.emplace_back(idx, sv * av);
+      combined.emplace_back(MixPair(si, ai) % FeatureVector::kDim, sv * av);
     }
   }
-  return combined;
+  return SparseVector::Canonicalize(std::move(combined));
+}
+
+std::shared_ptr<const SparseVector> CombineFeaturesShared(
+    const FeatureVector& shared, const FeatureVector& action) {
+  return std::make_shared<const SparseVector>(CombineFeatures(shared, action));
 }
 
 }  // namespace qo::bandit

@@ -10,14 +10,54 @@
 #define QO_BANDIT_FEATURES_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bitvector.h"
 
 namespace qo::bandit {
 
-/// Hashed sparse feature vector (feature hashing into a fixed space).
+/// Canonical hashed sparse vector: entries sorted by index, exactly one
+/// entry per index (hash-collided duplicates are coalesced by summing their
+/// values at construction), squared L2 norm cached.
+///
+/// The canonical form is what makes the trainer correct *by construction*:
+/// a linear sweep over `entries()` touches each model weight exactly once,
+/// so per-example L2 decay applies once per weight (not once per colliding
+/// occurrence) and `norm_sq()` counts a collided feature once at its summed
+/// value. It is immutable after construction and shared by value or via
+/// `shared_ptr` between the Personalizer's event log, the trainer and the
+/// Recommender's per-job combined-feature cache.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Builds the canonical form from raw (index, value) pairs in any order,
+  /// possibly with repeated indices. Indices are reduced into the model's
+  /// hashed space (FeatureVector::kDim) so the result is always safe to
+  /// score against a CbModel.
+  static SparseVector Canonicalize(
+      std::vector<std::pair<uint32_t, double>> raw);
+
+  /// Sorted by index, one entry per index.
+  const std::vector<std::pair<uint32_t, double>>& entries() const {
+    return entries_;
+  }
+  /// Cached squared L2 norm of the coalesced values.
+  double norm_sq() const { return norm_sq_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<uint32_t, double>> entries_;
+  double norm_sq_ = 0.0;
+};
+
+/// Hashed sparse feature builder (feature hashing into a fixed space).
+/// Add/AddNamed append raw entries; Canonicalize() sorts and coalesces them
+/// in place. The featurizer entry points below always return canonicalized
+/// vectors, so downstream combination starts from deduplicated inputs.
 struct FeatureVector {
   static constexpr uint32_t kDim = 1u << 18;
 
@@ -28,6 +68,9 @@ struct FeatureVector {
   }
   /// Adds a named feature via hashing.
   void AddNamed(const std::string& name, double value);
+
+  /// Sorts entries by index and coalesces duplicates (summing values).
+  void Canonicalize();
 
   size_t size() const { return entries.size(); }
 };
@@ -45,17 +88,23 @@ struct JobContext {
 };
 
 /// Builds the shared (context) features: span indicators, 2nd/3rd order span
-/// co-occurrences, and log-bucketed input-stream properties.
+/// co-occurrences, and log-bucketed input-stream properties. Canonical.
 FeatureVector BuildContextFeatures(const JobContext& context);
 
 /// Builds the per-action features: the flipped rule's id and category
-/// (Sec. 4.2), or the dedicated no-op indicator for action 0.
+/// (Sec. 4.2), or the dedicated no-op indicator for action 0. Canonical.
 FeatureVector BuildActionFeatures(int rule_id, bool is_noop);
 
-/// Dot-product helper combining shared and action features with quadratic
-/// (shared x action) interactions, mirroring VW's `-q` pairing that Azure
-/// Personalizer uses.
-std::vector<std::pair<uint32_t, double>> CombineFeatures(
+/// Combines shared and action features with quadratic (shared x action)
+/// interactions, mirroring VW's `-q` pairing that Azure Personalizer uses.
+/// The result is canonical (sorted, coalesced, norm cached).
+SparseVector CombineFeatures(const FeatureVector& shared,
+                             const FeatureVector& action);
+
+/// CombineFeatures into a shareable immutable vector — the unit of the
+/// combined-feature cache (one combine serves every Rank call, the event
+/// log and the trainer for a given (context, action) pair).
+std::shared_ptr<const SparseVector> CombineFeaturesShared(
     const FeatureVector& shared, const FeatureVector& action);
 
 }  // namespace qo::bandit

@@ -4,6 +4,16 @@
 
 namespace qo::bandit {
 
+std::vector<std::shared_ptr<const SparseVector>> CombineActionSet(
+    const FeatureVector& context, const std::vector<RankableAction>& actions) {
+  std::vector<std::shared_ptr<const SparseVector>> combined;
+  combined.reserve(actions.size());
+  for (const auto& action : actions) {
+    combined.push_back(CombineFeaturesShared(context, action.features));
+  }
+  return combined;
+}
+
 PersonalizerService::PersonalizerService(PersonalizerConfig config)
     : config_(config), model_(config.model), rng_(config.seed) {}
 
@@ -11,14 +21,36 @@ Result<RankResponse> PersonalizerService::Rank(const RankRequest& request) {
   if (request.actions.empty()) {
     return Status::InvalidArgument("Rank requires at least one action");
   }
+  if (!request.precombined.empty()) {
+    if (request.precombined.size() != request.actions.size()) {
+      return Status::InvalidArgument(
+          "precombined features disagree with action set: " +
+          std::to_string(request.precombined.size()) + " vs " +
+          std::to_string(request.actions.size()));
+    }
+    for (const auto& combined : request.precombined) {
+      if (combined == nullptr) {
+        return Status::InvalidArgument("null precombined feature vector");
+      }
+    }
+  }
   if (event_index_.count(request.event_id) > 0) {
     return Status::InvalidArgument("duplicate event id: " + request.event_id);
   }
   LoggedEvent ev;
-  ev.action_features.reserve(request.actions.size());
-  for (const auto& action : request.actions) {
-    ev.action_features.push_back(
-        CombineFeatures(request.context, action.features));
+  ev.event_id = request.event_id;
+  if (!request.precombined.empty()) {
+    // Shared combined-feature cache hit: adopt the caller's vectors. The
+    // probes and acting arm of one job all log the same shared_ptrs.
+    ev.action_features = request.precombined;
+    telemetry_.precombined_reused += request.precombined.size();
+  } else {
+    ev.action_features.reserve(request.actions.size());
+    for (const auto& action : request.actions) {
+      ev.action_features.push_back(
+          CombineFeaturesShared(request.context, action.features));
+    }
+    telemetry_.combines += request.actions.size();
   }
   const size_t n = request.actions.size();
   size_t chosen;
@@ -39,8 +71,10 @@ Result<RankResponse> PersonalizerService::Rank(const RankRequest& request) {
   }
   ev.chosen = chosen;
   ev.probability = probability;
-  event_index_[request.event_id] = log_.size();
+  event_index_[request.event_id] = log_base_ + log_.size();
   log_.push_back(std::move(ev));
+  ++telemetry_.ranks;
+  CompactLog();
 
   RankResponse resp;
   resp.event_id = request.event_id;
@@ -57,7 +91,7 @@ size_t PersonalizerService::BestAction(const LoggedEvent& ev,
   double best_score = -1e300;
   size_t ties = 0;
   for (size_t i = 0; i < ev.action_features.size(); ++i) {
-    double s = model_.Score(ev.action_features[i]);
+    double s = model_.Score(*ev.action_features[i]);
     if (s > best_score + kTieTolerance) {
       best_score = s;
       best = i;
@@ -75,15 +109,21 @@ Status PersonalizerService::Reward(const std::string& event_id,
                                    double reward) {
   auto it = event_index_.find(event_id);
   if (it == event_index_.end()) {
+    ++telemetry_.reward_failures;
     return Status::NotFound("unknown event id: " + event_id);
   }
-  LoggedEvent& ev = log_[it->second];
+  LoggedEvent& ev = log_[it->second - log_base_];
   if (ev.has_reward) {
+    ++telemetry_.reward_failures;
     return Status::FailedPrecondition("event already rewarded: " + event_id);
   }
   ev.has_reward = true;
   ev.reward = reward;
   ++rewarded_;
+  ++telemetry_.reward_joins;
+  // Queue for the next incremental retrain; the features stay shared with
+  // the event log (and the Recommender's cache) — no copy.
+  pending_.push_back({ev.action_features[ev.chosen], reward, ev.probability});
   if (rewarded_ - rewarded_at_last_train_ >= config_.retrain_interval) {
     Retrain();
   }
@@ -91,18 +131,30 @@ Status PersonalizerService::Reward(const std::string& event_id,
 }
 
 void PersonalizerService::Retrain() {
-  std::vector<LoggedExample> examples;
-  examples.reserve(rewarded_);
-  for (const LoggedEvent& ev : log_) {
-    if (!ev.has_reward) continue;
-    LoggedExample ex;
-    ex.features = ev.action_features[ev.chosen];
-    ex.reward = ev.reward;
-    ex.probability = ev.probability;
-    examples.push_back(std::move(ex));
+  if (!pending_.empty()) {
+    model_.Train(pending_);
+    telemetry_.examples_trained += pending_.size();
+    // clear() keeps the batch buffer's capacity (bounded by the retrain
+    // interval) so the next interval fills it without reallocating.
+    pending_.clear();
   }
-  model_.Train(examples);
+  ++telemetry_.retrains;
   rewarded_at_last_train_ = rewarded_;
+  CompactLog();
+}
+
+void PersonalizerService::CompactLog() {
+  if (config_.retention_window == 0) return;
+  // The front of the window is always safe to drop: a rewarded event was
+  // captured into pending_ at Reward time (training never rereads the log),
+  // and an unrewarded event older than the window has exceeded the
+  // reward-join horizon.
+  while (log_.size() > config_.retention_window) {
+    event_index_.erase(log_.front().event_id);
+    log_.pop_front();
+    ++log_base_;
+    ++telemetry_.events_compacted;
+  }
 }
 
 Result<PersonalizerService::OfflineEvaluation>

@@ -6,9 +6,18 @@
 //  - Reward(event id, reward) joined against a high-fidelity event log,
 //  - periodic retraining of the underlying contextual bandit model,
 //  - counterfactual (IPS) evaluation of a policy over the logged data.
+//
+// Training is incremental: a rewarded event's combined features are queued
+// (by shared_ptr, no copy) into a pending batch at Reward time, and
+// Retrain() consumes only that batch — the event log is never rescanned.
+// The log itself is bounded by a retention policy (see
+// PersonalizerConfig::retention_window): one service instance can run for
+// an unbounded number of pipeline days in constant memory.
 #ifndef QO_BANDIT_PERSONALIZER_H_
 #define QO_BANDIT_PERSONALIZER_H_
 
+#include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -18,6 +27,7 @@
 #include "bandit/features.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "telemetry/bandit_telemetry.h"
 
 namespace qo::bandit {
 
@@ -34,6 +44,13 @@ struct RankRequest {
   /// When true, the service ranks uniformly at random regardless of the
   /// model — the logging arm of the paper's off-policy design (Sec. 4.2).
   bool explore_uniform = false;
+  /// Optional shared combined (context x action) vectors, one per action
+  /// (see CombineActionSet). When non-empty it must match actions.size();
+  /// the service then logs these shared vectors instead of recombining
+  /// context x action per call. This is how the Recommender's per-job
+  /// combined-feature cache flows through every uniform probe and the
+  /// acting arm of one job: one combine, many Rank calls.
+  std::vector<std::shared_ptr<const SparseVector>> precombined;
 };
 
 struct RankResponse {
@@ -50,7 +67,21 @@ struct PersonalizerConfig {
   uint64_t seed = 7;
   /// Retrain after this many new rewarded events.
   size_t retrain_interval = 256;
+  /// Retention policy: keep at most this many events resident in the log
+  /// (0 = unlimited). When the log grows past the window the oldest events
+  /// are dropped: rewarded events have already been captured for training
+  /// (and consumed by any intervening retrain), and unrewarded events past
+  /// the window have exceeded the reward-join horizon — a later Reward()
+  /// for them returns NotFound, as a production join window would.
+  /// EvaluateOffline() evaluates over the retained window.
+  size_t retention_window = 16384;
 };
+
+/// Builds the shared combined-feature set for one (context, action set)
+/// pair — the unit the Recommender caches per job and hands to every Rank
+/// call via RankRequest::precombined.
+std::vector<std::shared_ptr<const SparseVector>> CombineActionSet(
+    const FeatureVector& context, const std::vector<RankableAction>& actions);
 
 /// The service. Thread-compatible, not thread-safe (matches the offline
 /// daily-pipeline usage).
@@ -64,19 +95,23 @@ class PersonalizerService {
   explicit PersonalizerService(PersonalizerConfig config = {});
 
   /// Ranks the actions; logs the decision for later reward joining.
-  /// InvalidArgument when the request has no actions or a duplicate event id.
+  /// InvalidArgument when the request has no actions, a duplicate event id,
+  /// or a precombined set whose size disagrees with the action set.
   Result<RankResponse> Rank(const RankRequest& request);
 
-  /// Attaches a reward to a previously ranked event. NotFound for unknown
-  /// event ids; FailedPrecondition for already-rewarded events.
+  /// Attaches a reward to a previously ranked event and queues the chosen
+  /// arm's features for the next incremental retrain. NotFound for unknown
+  /// (or retention-expired) event ids; FailedPrecondition for
+  /// already-rewarded events.
   Status Reward(const std::string& event_id, double reward);
 
-  /// Forces a retrain over all rewarded events.
+  /// Trains the model on the examples rewarded since the last retrain (the
+  /// pending batch), then compacts the event log per the retention policy.
   void Retrain();
 
   /// Counterfactual IPS estimate of the *current greedy policy*'s average
-  /// reward over the logged data, and of the logging baseline. Requires at
-  /// least one rewarded event.
+  /// reward over the retained log window, and of the logging baseline.
+  /// Requires at least one retained rewarded event.
   struct OfflineEvaluation {
     double logged_average_reward = 0.0;
     double policy_ips_estimate = 0.0;
@@ -84,13 +119,18 @@ class PersonalizerService {
   };
   Result<OfflineEvaluation> EvaluateOffline() const;
 
-  size_t logged_events() const { return log_.size(); }
+  /// Total events ever logged (monotonic, unaffected by retention).
+  size_t logged_events() const { return log_base_ + log_.size(); }
+  /// Events currently resident in the log (bounded by retention_window).
+  size_t resident_events() const { return log_.size(); }
   size_t rewarded_events() const { return rewarded_; }
   const CbModel& model() const { return model_; }
+  const telemetry::BanditTelemetry& telemetry() const { return telemetry_; }
 
  private:
   struct LoggedEvent {
-    std::vector<std::vector<std::pair<uint32_t, double>>> action_features;
+    std::string event_id;
+    std::vector<std::shared_ptr<const SparseVector>> action_features;
     size_t chosen = 0;
     double probability = 1.0;
     bool has_reward = false;
@@ -104,13 +144,22 @@ class PersonalizerService {
   /// selection, used by offline evaluation.
   size_t BestAction(const LoggedEvent& ev, Rng* rng) const;
 
+  /// Drops the oldest events while the log exceeds retention_window.
+  void CompactLog();
+
   PersonalizerConfig config_;
   CbModel model_;
   Rng rng_;
-  std::vector<LoggedEvent> log_;
+  /// Event log as a sliding window: log_[k] has global index log_base_ + k.
+  std::deque<LoggedEvent> log_;
+  size_t log_base_ = 0;
+  /// event id -> global event index (entries for compacted events erased).
   std::unordered_map<std::string, size_t> event_index_;
+  /// Examples rewarded since the last retrain (features shared with log_).
+  std::vector<LoggedExample> pending_;
   size_t rewarded_ = 0;
   size_t rewarded_at_last_train_ = 0;
+  telemetry::BanditTelemetry telemetry_;
 };
 
 }  // namespace qo::bandit

@@ -5,9 +5,12 @@
 //   -> SIS upload.
 //
 // One pipeline instance persists across days: the Personalizer keeps
-// learning, the validation model retrains as flight telemetry accumulates,
-// and hints land in the SIS where the optimizer picks them up for the next
-// occurrence of each template.
+// learning (incrementally — each retrain consumes only the examples
+// rewarded since the last one, and its event log is bounded by
+// PersonalizerConfig::retention_window, so memory stays constant over an
+// unbounded run), the validation model retrains as flight telemetry
+// accumulates, and hints land in the SIS where the optimizer picks them up
+// for the next occurrence of each template.
 #ifndef QO_CORE_PIPELINE_H_
 #define QO_CORE_PIPELINE_H_
 

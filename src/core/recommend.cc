@@ -174,6 +174,11 @@ std::vector<Recommendation> Recommender::RecommendDay(
     bandit::FeatureVector context =
         bandit::BuildContextFeatures(job.ToContext());
     std::vector<bandit::RankableAction> actions = BuildActions(job.span);
+    // Combined-feature cache: one (context x actions) combine per job,
+    // shared (by pointer) across every probe and the acting arm below, and
+    // from there with the Personalizer's event log and trainer.
+    std::vector<std::shared_ptr<const bandit::SparseVector>> combined =
+        bandit::CombineActionSet(context, actions);
     std::vector<int> span_bits = job.span.Positions();
 
     // --- Logging arm: uniform-at-random, always rewarded. ---
@@ -185,11 +190,14 @@ std::vector<Recommendation> Recommender::RecommendDay(
       log_request.context = context;
       log_request.actions = actions;
       log_request.explore_uniform = true;
+      log_request.precombined = combined;
       auto log_rank = personalizer_->Rank(log_request);
       if (log_rank.ok()) {
         int rule = RuleIdOfAction(span_bits, log_rank->chosen_index);
         Recommendation probe = evaluate(job_index, job, rule);
-        personalizer_->Reward(log_rank->event_id, probe.reward).ok();
+        if (!personalizer_->Reward(log_rank->event_id, probe.reward).ok()) {
+          ++local.reward_failures;
+        }
       }
     }
 
@@ -200,6 +208,7 @@ std::vector<Recommendation> Recommender::RecommendDay(
     act_request.context = std::move(context);
     act_request.actions = std::move(actions);
     act_request.explore_uniform = !config_.use_contextual_bandit;
+    act_request.precombined = std::move(combined);
     auto act_rank = personalizer_->Rank(act_request);
     if (!act_rank.ok()) continue;
     int rule = RuleIdOfAction(span_bits, act_rank->chosen_index);

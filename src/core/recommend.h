@@ -79,6 +79,9 @@ struct RecommenderStats {
   size_t recompile_failures = 0;
   size_t noop_chosen = 0;
   size_t forwarded = 0;  ///< recommendations that passed pruning
+  /// Reward() calls the Personalizer rejected (should be zero: every probe
+  /// rewards its own freshly ranked event).
+  size_t reward_failures = 0;
 };
 
 /// The Recommendation task. Holds the Personalizer handle; one instance
@@ -98,6 +101,12 @@ class Recommender {
   /// cached and lazily evaluated paths produce byte-identical
   /// recommendations — the Personalizer's order-dependent learning state is
   /// only ever touched from the calling thread.
+  ///
+  /// The (context x actions) combined feature vectors are built once per
+  /// job (CombineActionSet) and shared by every Rank call for that job —
+  /// all uniform probes plus the acting arm — via
+  /// RankRequest::precombined, so the Personalizer never recombines per
+  /// request.
   std::vector<Recommendation> RecommendDay(
       const std::vector<JobFeatures>& jobs, int day,
       RecommenderStats* stats = nullptr,

@@ -1,0 +1,27 @@
+#include "telemetry/bandit_telemetry.h"
+
+#include <cstdio>
+
+namespace qo::telemetry {
+
+std::string BanditTelemetry::ToString() const {
+  char line[288];
+  std::snprintf(
+      line, sizeof(line),
+      "bandit personalizer:\n"
+      "  ranks=%llu combines=%llu precombined_reused=%llu reuse_rate=%.1f%%\n"
+      "  reward_joins=%llu reward_failures=%llu retrains=%llu "
+      "examples_trained=%llu events_compacted=%llu\n",
+      static_cast<unsigned long long>(ranks),
+      static_cast<unsigned long long>(combines),
+      static_cast<unsigned long long>(precombined_reused),
+      100.0 * combine_reuse_rate(),
+      static_cast<unsigned long long>(reward_joins),
+      static_cast<unsigned long long>(reward_failures),
+      static_cast<unsigned long long>(retrains),
+      static_cast<unsigned long long>(examples_trained),
+      static_cast<unsigned long long>(events_compacted));
+  return line;
+}
+
+}  // namespace qo::telemetry

@@ -1,0 +1,46 @@
+// Telemetry counters for the contextual-bandit Personalizer (src/bandit/):
+// rank traffic, the combined-feature cache, incremental retraining, and
+// event-log retention.
+//
+// As with the compile-cache and exec-profile counters, this header defines
+// the merged snapshot shape the rest of the system consumes — pipeline
+// reports, benches and tests read these instead of poking at service
+// internals.
+#ifndef QO_TELEMETRY_BANDIT_TELEMETRY_H_
+#define QO_TELEMETRY_BANDIT_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qo::telemetry {
+
+/// Snapshot of Personalizer activity: how many Rank calls ran, how many
+/// per-action combined vectors were computed inside Rank vs shared from a
+/// caller's combined-feature cache, how much the incremental retrainer
+/// consumed, and how many events the retention policy compacted away.
+struct BanditTelemetry {
+  uint64_t ranks = 0;               ///< Rank calls that logged an event
+  uint64_t combines = 0;            ///< combined vectors computed inside Rank
+  uint64_t precombined_reused = 0;  ///< combined vectors shared from the caller
+  uint64_t reward_joins = 0;        ///< successful Reward() joins
+  uint64_t reward_failures = 0;     ///< rejected Reward() calls
+  uint64_t retrains = 0;            ///< Retrain() invocations
+  uint64_t examples_trained = 0;    ///< examples consumed by retrains
+  uint64_t events_compacted = 0;    ///< events dropped by retention
+
+  uint64_t combined_vectors() const { return combines + precombined_reused; }
+  /// Fraction of per-action combined vectors served by the shared cache.
+  double combine_reuse_rate() const {
+    uint64_t n = combined_vectors();
+    return n == 0 ? 0.0
+                  : static_cast<double>(precombined_reused) /
+                        static_cast<double>(n);
+  }
+
+  /// Human-readable multi-line dump for benches and debugging.
+  std::string ToString() const;
+};
+
+}  // namespace qo::telemetry
+
+#endif  // QO_TELEMETRY_BANDIT_TELEMETRY_H_

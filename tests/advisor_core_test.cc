@@ -302,12 +302,49 @@ TEST(PipelineTest, MultiDayRunProducesConsistentReportsAndHints) {
     EXPECT_LE(report->validated, report->flights_success);
     EXPECT_LE(report->hints_uploaded, report->validated);
     EXPECT_LE(report->recommender.forwarded, report->recommender.jobs);
+    // Every uniform probe rewards its own freshly ranked event, so no
+    // Reward() may ever be rejected (the status used to be discarded).
+    EXPECT_EQ(report->recommender.reward_failures, 0u);
     total_hints += report->hints_uploaded;
   }
   EXPECT_EQ(sis.active_hints() > 0, total_hints > 0);
   // The validation model must have trained within ten days.
   EXPECT_TRUE(pipeline.validation_model().trained());
   EXPECT_GE(pipeline.validation_samples().size(), 20u);
+}
+
+TEST(PipelineTest, PersonalizerMemoryBoundedAcrossDays) {
+  // One pipeline instance persists across days; the Personalizer's event
+  // log must not grow without bound (retention drops events that have been
+  // trained on / whose reward-join horizon has passed).
+  experiments::ExperimentEnv env(
+      {.num_templates = 40, .jobs_per_day = 80, .seed = 31});
+  sis::StatsInsightService sis;
+  PipelineConfig config;
+  config.flighting.total_budget_machine_hours = 1e6;
+  config.recommender.uniform_probes_per_job = 3;
+  config.personalizer.retrain_interval = 64;
+  config.personalizer.retention_window = 256;
+  QoAdvisorPipeline pipeline(&env.engine(), &sis, config);
+  for (int day = 0; day < 8; ++day) {
+    auto report = pipeline.RunDay(env.BuildDayView(day, &sis));
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->recommender.reward_failures, 0u);
+    EXPECT_LE(pipeline.personalizer().resident_events(), 256u);
+  }
+  // The run logged far more events than are retained...
+  EXPECT_GT(pipeline.personalizer().logged_events(), 256u);
+  EXPECT_GT(pipeline.personalizer().telemetry().events_compacted, 0u);
+  // ...and every rewarded example still reaches the trainer: after a final
+  // explicit retrain drains the pending batch, the incremental trainer has
+  // consumed exactly one example per reward join — compaction never drops
+  // an untrained example.
+  pipeline.personalizer().Retrain();
+  const auto& telemetry = pipeline.personalizer().telemetry();
+  EXPECT_EQ(telemetry.examples_trained, telemetry.reward_joins);
+  // The recommender's per-job combined-feature cache served every Rank.
+  EXPECT_EQ(telemetry.combines, 0u);
+  EXPECT_GT(telemetry.precombined_reused, 0u);
 }
 
 TEST(PipelineTest, HintedTemplatesCompileWithSingleFlip) {

@@ -1,5 +1,8 @@
-// Contextual bandit tests: featurization, model learning, the Personalizer
-// service contract, and offline (IPS) evaluation.
+// Contextual bandit tests: featurization, the canonical sparse
+// representation, model learning, the Personalizer service contract
+// (including shared combined features, incremental retraining and log
+// retention), and offline (IPS) evaluation.
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "bandit/cb_model.h"
@@ -11,13 +14,43 @@
 namespace qo::bandit {
 namespace {
 
+/// True when entries are strictly increasing by index (sorted + deduped).
+bool IsCanonical(const std::vector<std::pair<uint32_t, double>>& entries) {
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i - 1].first >= entries[i].first) return false;
+  }
+  return true;
+}
+
+TEST(SparseVectorTest, CanonicalizeSortsCoalescesAndCachesNorm) {
+  SparseVector v = SparseVector::Canonicalize(
+      {{9, 1.0}, {3, 2.0}, {9, 0.5}, {1, -1.0}, {3, -2.0}});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_TRUE(IsCanonical(v.entries()));
+  EXPECT_EQ(v.entries()[0], (std::pair<uint32_t, double>{1, -1.0}));
+  // Coalesced to zero: the entry stays, at its summed value.
+  EXPECT_EQ(v.entries()[1], (std::pair<uint32_t, double>{3, 0.0}));
+  EXPECT_EQ(v.entries()[2], (std::pair<uint32_t, double>{9, 1.5}));
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 1.0 + 0.0 + 2.25);
+}
+
+TEST(SparseVectorTest, CanonicalizeReducesIndicesIntoModelSpace) {
+  SparseVector v =
+      SparseVector::Canonicalize({{FeatureVector::kDim + 7, 1.0}, {7, 1.0}});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.entries()[0].first, 7u);
+  EXPECT_DOUBLE_EQ(v.entries()[0].second, 2.0);
+}
+
 TEST(FeaturesTest, ContextIncludesSpanAndCooccurrences) {
   JobContext ctx;
   ctx.span = BitVector256::FromPositions({41, 44, 50});
   ctx.row_count = 1e6;
   FeatureVector f = BuildContextFeatures(ctx);
-  // 3 first-order + 3 pairs + 1 triple + 4 buckets + bias = 12.
+  // 3 first-order + 3 pairs + 1 triple + 4 buckets + bias = 12 (no hash
+  // collisions among these 12 in the 2^18 space).
   EXPECT_EQ(f.size(), 12u);
+  EXPECT_TRUE(IsCanonical(f.entries));
 }
 
 TEST(FeaturesTest, TriplesAreCapped) {
@@ -26,8 +59,11 @@ TEST(FeaturesTest, TriplesAreCapped) {
   JobContext ctx;
   ctx.span = BitVector256::FromPositions(many);
   FeatureVector f = BuildContextFeatures(ctx);
-  // 30 singles + C(30,2)=435 pairs + C(12,3)=220 capped triples + 5 misc.
-  EXPECT_EQ(f.size(), 30u + 435u + 220u + 5u);
+  // 30 singles + C(30,2)=435 pairs + C(12,3)=220 capped triples + 5 misc,
+  // minus any hashed-index collisions coalesced by canonicalization.
+  EXPECT_LE(f.size(), 30u + 435u + 220u + 5u);
+  EXPECT_GE(f.size(), 30u + 435u + 220u + 5u - 4u);
+  EXPECT_TRUE(IsCanonical(f.entries));
 }
 
 TEST(FeaturesTest, ActionFeaturesEncodeRuleAndCategory) {
@@ -35,6 +71,7 @@ TEST(FeaturesTest, ActionFeaturesEncodeRuleAndCategory) {
   EXPECT_EQ(noop.size(), 1u);
   FeatureVector flip = BuildActionFeatures(opt::rules::kHashJoinImpl, false);
   EXPECT_EQ(flip.size(), 2u);  // rule id + category
+  EXPECT_TRUE(IsCanonical(flip.entries));
 }
 
 TEST(FeaturesTest, CombineAddsQuadraticInteractions) {
@@ -43,8 +80,36 @@ TEST(FeaturesTest, CombineAddsQuadraticInteractions) {
   shared.AddNamed("b", 1.0);
   FeatureVector action;
   action.AddNamed("x", 1.0);
-  auto combined = CombineFeatures(shared, action);
+  SparseVector combined = CombineFeatures(shared, action);
   EXPECT_EQ(combined.size(), 2u + 1u + 2u);  // shared + action + cross
+  EXPECT_TRUE(IsCanonical(combined.entries()));
+  EXPECT_DOUBLE_EQ(combined.norm_sq(), 5.0);
+}
+
+TEST(FeaturesTest, CombineIsInvariantUnderInputPermutation) {
+  FeatureVector shared_ab, shared_ba;
+  shared_ab.AddNamed("a", 1.0);
+  shared_ab.AddNamed("b", 2.0);
+  shared_ba.AddNamed("b", 2.0);
+  shared_ba.AddNamed("a", 1.0);
+  FeatureVector action;
+  action.AddNamed("x", 1.0);
+  action.AddNamed("y", 0.5);
+  SparseVector c1 = CombineFeatures(shared_ab, action);
+  SparseVector c2 = CombineFeatures(shared_ba, action);
+  EXPECT_EQ(c1.entries(), c2.entries());
+  EXPECT_DOUBLE_EQ(c1.norm_sq(), c2.norm_sq());
+
+  // And a trained model scores the two identically — the canonical form is
+  // what the model consumes, not the insertion order.
+  CbModel model({.learning_rate = 0.3, .epochs = 5});
+  std::vector<LoggedExample> examples;
+  for (int i = 0; i < 10; ++i) {
+    examples.push_back(
+        {std::make_shared<const SparseVector>(c1), 1.5, 1.0});
+  }
+  model.Train(examples);
+  EXPECT_DOUBLE_EQ(model.Score(c1), model.Score(c2));
 }
 
 TEST(FeaturesTest, HashingIsStable) {
@@ -61,8 +126,8 @@ TEST(CbModelTest, LearnsLinearRewards) {
   shared.AddNamed("bias", 1.0);
   std::vector<LoggedExample> examples;
   for (int i = 0; i < 50; ++i) {
-    examples.push_back({CombineFeatures(shared, fa), 2.0, 0.5});
-    examples.push_back({CombineFeatures(shared, fb), 0.5, 0.5});
+    examples.push_back({CombineFeaturesShared(shared, fa), 2.0, 0.5});
+    examples.push_back({CombineFeaturesShared(shared, fb), 0.5, 0.5});
   }
   model.Train(examples);
   EXPECT_GT(model.Score(CombineFeatures(shared, fa)),
@@ -81,16 +146,45 @@ TEST(CbModelTest, LearnsContextDependentPolicy) {
   FeatureVector fb = BuildActionFeatures(20, false);
   std::vector<LoggedExample> examples;
   for (int i = 0; i < 100; ++i) {
-    examples.push_back({CombineFeatures(c1, fa), 2.0, 0.5});
-    examples.push_back({CombineFeatures(c1, fb), 0.2, 0.5});
-    examples.push_back({CombineFeatures(c2, fa), 0.2, 0.5});
-    examples.push_back({CombineFeatures(c2, fb), 2.0, 0.5});
+    examples.push_back({CombineFeaturesShared(c1, fa), 2.0, 0.5});
+    examples.push_back({CombineFeaturesShared(c1, fb), 0.2, 0.5});
+    examples.push_back({CombineFeaturesShared(c2, fa), 0.2, 0.5});
+    examples.push_back({CombineFeaturesShared(c2, fb), 2.0, 0.5});
   }
   model.Train(examples);
   EXPECT_GT(model.Score(CombineFeatures(c1, fa)),
             model.Score(CombineFeatures(c1, fb)));
   EXPECT_LT(model.Score(CombineFeatures(c2, fa)),
             model.Score(CombineFeatures(c2, fb)));
+}
+
+TEST(CbModelTest, DuplicateIndexDecaysWeightOncePerExample) {
+  // Regression test for the double-decay / norm-overcount bug: two raw
+  // entries forced onto one hashed index must behave as a single coalesced
+  // feature — L2 decay applied exactly once per example, norm_sq counting
+  // the summed value once.
+  CbModel model({.learning_rate = 0.5, .l2 = 0.2, .epochs = 1});
+  auto single = std::make_shared<const SparseVector>(
+      SparseVector::Canonicalize({{7, 1.0}}));
+  auto collided = std::make_shared<const SparseVector>(
+      SparseVector::Canonicalize({{7, 1.0}, {7, 1.0}}));
+  ASSERT_EQ(collided->size(), 1u);
+  EXPECT_DOUBLE_EQ(collided->entries()[0].second, 2.0);
+  // The collided feature's norm counts the coalesced value once: (1+1)^2,
+  // not 1^2 + 1^2.
+  EXPECT_DOUBLE_EQ(collided->norm_sq(), 4.0);
+
+  // Step 1: plain example, reward 1 -> w7 = lr * (1 - 0) / max(1, 1) = 0.5.
+  model.TrainEpoch({{single, 1.0, 1.0}});
+  EXPECT_NEAR(model.Score(*single), 0.5, 1e-6);
+
+  // Step 2: collided example, reward 0. pred = w7 * 2 = 1.0, norm_sq = 4,
+  // grad = 0.5 * (0 - 1) / 4 = -0.125, and the weight decays ONCE:
+  //   w7 = 0.5 * (1 - lr * l2) + grad * 2 = 0.5 * 0.9 - 0.25 = 0.2.
+  // The pre-fix path decayed twice and interleaved the two updates,
+  // yielding -0.07 instead.
+  model.TrainEpoch({{collided, 0.0, 1.0}});
+  EXPECT_NEAR(model.Score(*single), 0.2, 1e-6);
 }
 
 std::vector<RankableAction> ThreeActions() {
@@ -105,6 +199,13 @@ std::vector<RankableAction> ThreeActions() {
   return actions;
 }
 
+FeatureVector SmallContext() {
+  JobContext ctx;
+  ctx.span = BitVector256::FromPositions({41, 44, 50});
+  ctx.row_count = 1e6;
+  return BuildContextFeatures(ctx);
+}
+
 TEST(PersonalizerTest, RankRequiresActionsAndUniqueEventIds) {
   PersonalizerService service;
   RankRequest empty;
@@ -116,6 +217,20 @@ TEST(PersonalizerTest, RankRequiresActionsAndUniqueEventIds) {
   req.actions = ThreeActions();
   EXPECT_TRUE(service.Rank(req).ok());
   EXPECT_FALSE(service.Rank(req).ok());  // duplicate id
+}
+
+TEST(PersonalizerTest, RankRejectsMismatchedPrecombined) {
+  PersonalizerService service;
+  RankRequest req;
+  req.event_id = "e1";
+  req.actions = ThreeActions();
+  req.precombined = {CombineFeaturesShared(SmallContext(), req.actions[0].features)};
+  EXPECT_FALSE(service.Rank(req).ok());  // 1 precombined vs 3 actions
+
+  // Correct size but a null entry is rejected too (nothing null may reach
+  // the event log, where BestAction dereferences unchecked).
+  req.precombined.resize(3);
+  EXPECT_FALSE(service.Rank(req).ok());
 }
 
 TEST(PersonalizerTest, UniformExplorationHasUniformPropensity) {
@@ -141,6 +256,119 @@ TEST(PersonalizerTest, RewardJoinSemantics) {
   EXPECT_TRUE(service.Reward("ghost", 1.0).IsNotFound());
   EXPECT_EQ(service.rewarded_events(), 1u);
   EXPECT_EQ(service.logged_events(), 1u);
+  EXPECT_EQ(service.telemetry().reward_joins, 1u);
+  EXPECT_EQ(service.telemetry().reward_failures, 2u);
+}
+
+TEST(PersonalizerTest, PrecombinedRanksIdenticallyAndSharesVectors) {
+  // Two identically seeded services fed the same event stream; one combines
+  // inline per Rank, the other shares precombined vectors per "job". Both
+  // must produce identical choices, propensities and learned models.
+  PersonalizerConfig config{.seed = 11, .retrain_interval = 40};
+  PersonalizerService inline_service(config);
+  PersonalizerService shared_service(config);
+  FeatureVector context = SmallContext();
+  std::vector<RankableAction> actions = ThreeActions();
+
+  for (int i = 0; i < 120; ++i) {
+    auto combined = CombineActionSet(context, actions);
+    RankRequest plain;
+    plain.event_id = "e";
+    plain.event_id += std::to_string(i);
+    plain.context = context;
+    plain.actions = actions;
+    plain.explore_uniform = (i % 2 == 0);
+    RankRequest pre = plain;
+    pre.precombined = combined;
+
+    auto r1 = inline_service.Rank(plain);
+    auto r2 = shared_service.Rank(pre);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r1->chosen_index, r2->chosen_index);
+    EXPECT_EQ(r1->probability, r2->probability);
+    // The logged event holds the caller's vectors, not copies: the probe
+    // and acting arms of one job share one combine.
+    for (const auto& c : combined) EXPECT_GT(c.use_count(), 1);
+    double reward = r1->chosen_index == 1 ? 2.0 : 0.5;
+    ASSERT_TRUE(inline_service.Reward(r1->event_id, reward).ok());
+    ASSERT_TRUE(shared_service.Reward(r2->event_id, reward).ok());
+  }
+  inline_service.Retrain();
+  shared_service.Retrain();
+  for (const auto& action : actions) {
+    SparseVector probe = CombineFeatures(context, action.features);
+    EXPECT_DOUBLE_EQ(inline_service.model().Score(probe),
+                     shared_service.model().Score(probe));
+  }
+  EXPECT_GT(shared_service.telemetry().precombined_reused, 0u);
+  EXPECT_EQ(shared_service.telemetry().combines, 0u);
+}
+
+TEST(PersonalizerTest, IncrementalRetrainMatchesFullRetrain) {
+  // With epochs = 1, retraining after every batch produces exactly the same
+  // SGD update sequence as one retrain over all pending examples: the
+  // incremental path must drop nothing and train nothing twice.
+  PersonalizerConfig config{.model = {.epochs = 1},
+                            .seed = 21,
+                            .retrain_interval = 1000000};
+  PersonalizerService incremental(config);
+  PersonalizerService full(config);
+  FeatureVector context = SmallContext();
+  std::vector<RankableAction> actions = ThreeActions();
+
+  for (int i = 0; i < 120; ++i) {
+    RankRequest req;
+    req.event_id = "e";
+    req.event_id += std::to_string(i);
+    req.context = context;
+    req.actions = actions;
+    req.explore_uniform = true;  // identical RNG consumption in both
+    auto r1 = incremental.Rank(req);
+    auto r2 = full.Rank(req);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    ASSERT_EQ(r1->chosen_index, r2->chosen_index);
+    double reward = r1->chosen_index == 2 ? 1.5 : 0.5;
+    ASSERT_TRUE(incremental.Reward(r1->event_id, reward).ok());
+    ASSERT_TRUE(full.Reward(r2->event_id, reward).ok());
+    if ((i + 1) % 40 == 0) incremental.Retrain();
+  }
+  full.Retrain();
+  for (const auto& action : actions) {
+    SparseVector probe = CombineFeatures(context, action.features);
+    EXPECT_DOUBLE_EQ(incremental.model().Score(probe),
+                     full.model().Score(probe));
+  }
+  EXPECT_EQ(incremental.telemetry().examples_trained,
+            full.telemetry().examples_trained);
+}
+
+TEST(PersonalizerTest, RetentionBoundsResidentEvents) {
+  PersonalizerService service({.seed = 13,
+                               .retrain_interval = 16,
+                               .retention_window = 64});
+  // "Acting arm" events (every third) are never rewarded — retention must
+  // reclaim them too.
+  for (int i = 0; i < 400; ++i) {
+    RankRequest req;
+    req.event_id = "e";
+    req.event_id += std::to_string(i);
+    req.actions = ThreeActions();
+    req.explore_uniform = true;
+    auto resp = service.Rank(req);
+    ASSERT_TRUE(resp.ok());
+    if (i % 3 != 0) {
+      ASSERT_TRUE(service.Reward(resp->event_id, 1.0).ok());
+    }
+    EXPECT_LE(service.resident_events(), 64u);
+  }
+  EXPECT_EQ(service.logged_events(), 400u);
+  EXPECT_GT(service.telemetry().events_compacted, 0u);
+  // A reward for an event beyond the retention window is an expired join.
+  EXPECT_TRUE(service.Reward("e0", 1.0).IsNotFound());
+  // The retained window still supports offline evaluation.
+  EXPECT_TRUE(service.EvaluateOffline().ok());
 }
 
 TEST(PersonalizerTest, ColdStartRanksUniformly) {
