@@ -106,6 +106,87 @@ void BM_ExecutePrepared(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecutePrepared);
 
+// --- Interned symbol table + cross-config memo (src/common/, src/optimizer/):
+// the compile hot path does integer array reads where it used to probe
+// unordered_map<std::string>, and the per-job memo serves config flips of
+// unconsulted rules without re-running the optimizer at all.
+
+void BM_CatalogLookupInterned(benchmark::State& state) {
+  // A catalog shaped like a generated job's: a wide fact table plus dims.
+  scope::Catalog catalog;
+  std::vector<std::pair<Symbol, Symbol>> keys;
+  for (int t = 0; t < 4; ++t) {
+    std::string path = "tbl";
+    path += std::to_string(t);
+    scope::TableStats stats;
+    stats.true_rows = 1e7;
+    stats.est_rows = 1.2e7;
+    for (int c = 0; c < 12; ++c) {
+      std::string col = "col";
+      col += std::to_string(c);
+      stats.columns[col] = {1e4, 1.1e4};
+      // Intern once up front — the optimizer carries these ids in its plan
+      // structures, so steady-state lookups never touch the strings.
+      keys.emplace_back(Sym(path), Sym(col));
+    }
+    catalog.RegisterTable(path, std::move(stats));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const scope::ColumnStats& stats =
+        catalog.LookupColumn(keys[i % keys.size()].first,
+                             keys[i % keys.size()].second);
+    benchmark::DoNotOptimize(stats);
+    ++i;
+  }
+}
+BENCHMARK(BM_CatalogLookupInterned);
+
+void BM_StatsFingerprintInterned(benchmark::State& state) {
+  // Registration recomputes the table's content hash over interned ids;
+  // StatsFingerprint itself is O(1) (an incrementally maintained sum).
+  scope::TableStats stats;
+  stats.true_rows = 5e7;
+  stats.est_rows = 6e7;
+  for (int c = 0; c < 16; ++c) {
+    std::string name = "c";
+    name += std::to_string(c);
+    stats.columns[name] = {1e5, 1.2e5};
+  }
+  scope::Catalog catalog;
+  for (auto _ : state) {
+    catalog.RegisterTable("fact", stats);
+    benchmark::DoNotOptimize(catalog.StatsFingerprint());
+  }
+}
+BENCHMARK(BM_StatsFingerprintInterned);
+
+void BM_OptimizeCrossConfigMemoHit(benchmark::State& state) {
+  // A tiny L2 so rotating configs always miss the compilation cache and land
+  // on the front-end entry's cross-config memo instead: each flipped rule is
+  // an unwired placeholder the optimizer never consults, so the memo's full
+  // tier serves the stored output without an optimizer run.
+  cache::CompileCacheOptions cache_options;
+  cache_options.compilation_capacity = 16;
+  engine::ScopeEngine engine({}, {}, cache_options, {},
+                             opt::CrossConfigMemoOptions{.enabled = true});
+  std::vector<opt::RuleConfig> configs;
+  for (int rule = 64; rule < 128; ++rule) {
+    configs.push_back(opt::RuleConfig::DefaultWithFlip(rule));
+  }
+  // Warm: the one real optimizer run whose footprint covers every flip.
+  benchmark::DoNotOptimize(engine.Compile(Jobs()[0], opt::RuleConfig::Default()));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto out = engine.Compile(Jobs()[0], configs[i % configs.size()]);
+    benchmark::DoNotOptimize(out);
+    ++i;
+  }
+  auto t = engine.optimizer_telemetry();
+  state.counters["memo_hit_rate"] = t.memo_hit_rate();
+}
+BENCHMARK(BM_OptimizeCrossConfigMemoHit);
+
 void BM_SpanComputation(benchmark::State& state) {
   engine::ScopeEngine engine;
   size_t i = 0;

@@ -76,10 +76,13 @@ int main(int argc, char** argv) {
   }
 
   // How much recompilation the two-level cache absorbed across the run, how
-  // many stage decompositions the prepared execution profiles amortized, and
-  // how the bandit's combined-feature cache / incremental retrainer fared.
+  // many optimizer runs the cross-config memo served from prior configs of
+  // the same job, how many stage decompositions the prepared execution
+  // profiles amortized, and how the bandit's combined-feature cache /
+  // incremental retrainer fared.
   std::printf("\n%s",
               env.engine().compile_cache_telemetry().ToString().c_str());
+  std::printf("%s", env.engine().optimizer_telemetry().ToString().c_str());
   std::printf("%s",
               env.engine().exec_profile_telemetry().ToString().c_str());
   std::printf("%s", pipeline.personalizer().telemetry().ToString().c_str());

@@ -73,10 +73,11 @@ FrontEndPtr CompilationCache::GetOrParse(
 
 CompilationPtr CompilationCache::GetOrCompile(
     const CompilationKey& key,
-    const std::function<Result<opt::CompilationOutput>()>& compile) {
+    const std::function<
+        Result<std::shared_ptr<const opt::CompilationOutput>>()>& compile) {
   return compilations_.GetOrCompute(key, [&]() -> CompilationPtr {
     auto entry = std::make_shared<CachedCompilation>();
-    Result<opt::CompilationOutput> result = compile();
+    Result<std::shared_ptr<const opt::CompilationOutput>> result = compile();
     if (result.ok()) {
       entry->output = std::move(result).value();
     } else {

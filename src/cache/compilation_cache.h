@@ -38,6 +38,7 @@
 #include "cache/sharded_lru.h"
 #include "common/bitvector.h"
 #include "common/status.h"
+#include "optimizer/cross_config_memo.h"
 #include "optimizer/physical_plan.h"
 #include "scope/logical_plan.h"
 #include "telemetry/cache_telemetry.h"
@@ -74,17 +75,26 @@ struct CompilationKeyHasher {
 };
 
 /// An immutable cached front-end result: the logical plan, or the compile
-/// error that producing it raised.
+/// error that producing it raised. The cross-config memo rides on the entry
+/// because its stored results are valid exactly as long as this plan +
+/// catalog fingerprint pair is — eviction or stats drift retires both
+/// together. `mutable` + internal mutex, same discipline as the prepared
+/// execution-profile slot on CompilationOutput.
 struct CachedFrontEnd {
   Status status;
   scope::LogicalPlan plan;  ///< meaningful only when status.ok()
+  mutable opt::CrossConfigMemo cross_config_memo;
 };
 
 /// An immutable cached compilation: the full optimizer output, or the
-/// compile error the (job, config) pair deterministically produces.
+/// compile error the (job, config) pair deterministically produces. The
+/// output is held by shared_ptr so the cross-config memo, every L2 entry it
+/// serves, and every CompileShared caller reference one CompilationOutput —
+/// a memo hit is a refcount bump, never a deep plan copy.
 struct CachedCompilation {
   Status status;
-  opt::CompilationOutput output;  ///< meaningful only when status.ok()
+  /// Null exactly when !status.ok().
+  std::shared_ptr<const opt::CompilationOutput> output;
 };
 
 using FrontEndPtr = std::shared_ptr<const CachedFrontEnd>;
@@ -117,10 +127,13 @@ class CompilationCache {
                              compile);
 
   /// Level 2: returns the cached compilation for `key`, computing it with
-  /// `compile` on miss.
+  /// `compile` on miss. The miss handler returns an already-shared output so
+  /// a producer that also retains the result (the cross-config memo) never
+  /// forces a copy.
   CompilationPtr GetOrCompile(
       const CompilationKey& key,
-      const std::function<Result<opt::CompilationOutput>()>& compile);
+      const std::function<
+          Result<std::shared_ptr<const opt::CompilationOutput>>()>& compile);
 
   const CompileCacheOptions& options() const { return options_; }
 

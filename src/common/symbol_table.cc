@@ -1,0 +1,43 @@
+#include "common/symbol_table.h"
+
+#include <mutex>
+
+namespace qo {
+
+SymbolTable::SymbolTable() {
+  // Stable constants usable without a lookup (see kSymEmpty / kSymStar).
+  Intern("");
+  Intern("*");
+}
+
+SymbolTable& SymbolTable::Global() {
+  static SymbolTable* table = new SymbolTable();  // leaked: process lifetime
+  return *table;
+}
+
+Symbol SymbolTable::Intern(std::string_view text) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(text);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(text);  // raced insert by another thread
+  if (it != index_.end()) return it->second;
+  Symbol id = static_cast<Symbol>(strings_.size());
+  strings_.emplace_back(text);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+const std::string& SymbolTable::Resolve(Symbol id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return strings_[id];
+}
+
+size_t SymbolTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return strings_.size();
+}
+
+}  // namespace qo

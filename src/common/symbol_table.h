@@ -1,0 +1,87 @@
+// Process-wide string interning.
+//
+// The compile hot path (catalog lookups, cardinality derivation, memo
+// fingerprints, physical-property keys) used to hash and compare
+// `std::string` table/column names on every probe. A `Symbol` is a dense
+// uint32 id assigned by the global `SymbolTable`; equal strings always map
+// to the same id within a process, so every string compare/hash on the hot
+// path becomes a single integer compare/mix.
+//
+// Ids are assigned in first-intern order and are therefore *not* stable
+// across processes or thread interleavings — nothing may order results by
+// id value or persist ids. All outputs keep rendering through the original
+// strings (or `Resolve`), which preserves byte-identity of every figure.
+#ifndef QO_COMMON_SYMBOL_TABLE_H_
+#define QO_COMMON_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace qo {
+
+using Symbol = uint32_t;
+
+/// Sentinel for "not yet interned". Structures that carry a Symbol alongside
+/// their string default to this; `scope::InternPlanSymbols` fills them in.
+inline constexpr Symbol kNoSymbol = 0xffffffffu;
+/// Pre-interned constants (registered by the table's constructor, in order).
+inline constexpr Symbol kSymEmpty = 0;  ///< ""
+inline constexpr Symbol kSymStar = 1;   ///< "*"
+
+/// Append-only, thread-safe intern table. Interning is off the per-probe
+/// hot path (done once per compiled plan / registered catalog); lookups by
+/// id take a shared lock only because the deque's block map may grow
+/// concurrently.
+class SymbolTable {
+ public:
+  SymbolTable();
+
+  /// The process-wide table used by all interning helpers.
+  static SymbolTable& Global();
+
+  /// Returns the id for `text`, assigning the next dense id on first use.
+  Symbol Intern(std::string_view text);
+
+  /// The string for an id previously returned by Intern. Returned reference
+  /// stays valid for the table's lifetime (strings are never removed).
+  const std::string& Resolve(Symbol id) const;
+
+  /// Number of distinct strings interned so far.
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  // deque: growing never moves existing strings, so Resolve can hand out
+  // stable references.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, Symbol> index_;  // views into strings_
+};
+
+/// Interns into the global table.
+inline Symbol Sym(std::string_view text) {
+  return SymbolTable::Global().Intern(text);
+}
+
+/// Resolves from the global table.
+inline const std::string& SymName(Symbol id) {
+  return SymbolTable::Global().Resolve(id);
+}
+
+/// Lazy-intern fallback: uses `sym` when already assigned, otherwise interns
+/// `text`. Lets hot paths accept structures that skipped the intern pass.
+/// Empty text short-circuits to the pre-interned kSymEmpty — optimizer
+/// structures leave unused key/path fields empty, so this skips the table
+/// probe (and its lock) on the most common fallback by far.
+inline Symbol SymOf(Symbol sym, std::string_view text) {
+  if (sym != kNoSymbol) return sym;
+  if (text.empty()) return kSymEmpty;
+  return Sym(text);
+}
+
+}  // namespace qo
+
+#endif  // QO_COMMON_SYMBOL_TABLE_H_

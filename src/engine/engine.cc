@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "cache/fingerprint.h"
+#include "common/symbol_table.h"
 #include "scope/compiler.h"
 
 namespace qo::engine {
@@ -21,10 +22,12 @@ ExecOptions ExecOptions::FromEnv() {
 ScopeEngine::ScopeEngine(opt::OptimizerOptions optimizer_options,
                          exec::ClusterConfig cluster_config,
                          cache::CompileCacheOptions cache_options,
-                         ExecOptions exec_options)
+                         ExecOptions exec_options,
+                         opt::CrossConfigMemoOptions memo_options)
     : optimizer_options_(optimizer_options),
       simulator_(cluster_config),
       exec_options_(exec_options),
+      memo_options_(memo_options),
       options_fingerprint_(
           cache::OptimizerOptionsFingerprint(optimizer_options)) {
   if (cache_options.enabled) {
@@ -46,6 +49,64 @@ Result<opt::CompilationOutput> ScopeEngine::Optimize(
     const opt::RuleConfig& config) const {
   opt::Optimizer optimizer(job.catalog, optimizer_options_);
   return optimizer.Optimize(logical, config);
+}
+
+Result<std::shared_ptr<const opt::CompilationOutput>>
+ScopeEngine::OptimizeWithMemo(const cache::CachedFrontEnd& fe,
+                              const workload::JobInstance& job,
+                              const opt::RuleConfig& config) const {
+  opt::CrossConfigMemo& memo = fe.cross_config_memo;
+
+  // Full-tier probe: some earlier compile consulted only bits this config
+  // agrees on, so its output (or deterministic error) is this config's too.
+  Status stored_status = Status::OK();
+  std::shared_ptr<const opt::CompilationOutput> stored_output;
+  if (memo.FindFull(config.bits(), &stored_status, &stored_output)) {
+    memo_full_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (!stored_status.ok()) return stored_status;
+    return stored_output;
+  }
+
+  opt::Optimizer optimizer(job.catalog, optimizer_options_);
+
+  // Normalized-tier probe: reuse the validated + normalized plan and rerun
+  // only the cost-based search under this config.
+  BitVector256 norm_consulted;
+  if (std::shared_ptr<const opt::NormalizedPlan> normalized =
+          memo.FindNorm(config.bits(), &norm_consulted)) {
+    memo_norm_hits_.fetch_add(1, std::memory_order_relaxed);
+    BitVector256 post_consulted;
+    Result<opt::CompilationOutput> result =
+        optimizer.OptimizeFromNormalized(*normalized, config, &post_consulted);
+    BitVector256 footprint = norm_consulted | post_consulted;
+    if (!result.ok()) {
+      memo.InsertFull(footprint, config.bits(), result.status(), nullptr);
+      return result.status();
+    }
+    auto shared = std::make_shared<const opt::CompilationOutput>(
+        std::move(result).value());
+    memo.InsertFull(footprint, config.bits(), Status::OK(), shared);
+    return std::shared_ptr<const opt::CompilationOutput>(std::move(shared));
+  }
+
+  // Miss: full pipeline, recording both footprints for future configs.
+  memo_misses_.fetch_add(1, std::memory_order_relaxed);
+  BitVector256 post_consulted;
+  std::shared_ptr<const opt::NormalizedPlan> normalized;
+  Result<opt::CompilationOutput> result = optimizer.OptimizeTracked(
+      fe.plan, config, &norm_consulted, &post_consulted, &normalized);
+  if (normalized != nullptr) {
+    memo.InsertNorm(norm_consulted, config.bits(), normalized);
+  }
+  BitVector256 footprint = norm_consulted | post_consulted;
+  if (!result.ok()) {
+    memo.InsertFull(footprint, config.bits(), result.status(), nullptr);
+    return result.status();
+  }
+  auto shared = std::make_shared<const opt::CompilationOutput>(
+      std::move(result).value());
+  memo.InsertFull(footprint, config.bits(), Status::OK(), shared);
+  return std::shared_ptr<const opt::CompilationOutput>(std::move(shared));
 }
 
 Result<std::shared_ptr<const scope::LogicalPlan>> ScopeEngine::CompileFrontEnd(
@@ -79,17 +140,25 @@ ScopeEngine::CompileShared(const workload::JobInstance& job,
   key.front_end = FrontEndKeyOf(job);
   key.config = config.bits();
   cache::CompilationPtr entry = cache_->GetOrCompile(
-      key, [&]() -> Result<opt::CompilationOutput> {
+      key, [&]() -> Result<std::shared_ptr<const opt::CompilationOutput>> {
         // Miss handler: level 1 still memoizes the front end, so the other
-        // configs of this job skip straight to the optimizer.
+        // configs of this job skip straight to the optimizer — and the
+        // front-end entry's cross-config memo lets configs that only differ
+        // in unconsulted rule bits skip the optimizer too.
         cache::FrontEndPtr fe = cache_->GetOrParse(key.front_end, [&] {
           return scope::CompileSource(job.script, job.catalog);
         });
         if (!fe->status.ok()) return fe->status;
-        return Optimize(fe->plan, job, config);
+        if (!memo_options_.enabled) {
+          QO_ASSIGN_OR_RETURN(opt::CompilationOutput output,
+                              Optimize(fe->plan, job, config));
+          return std::shared_ptr<const opt::CompilationOutput>(
+              std::make_shared<opt::CompilationOutput>(std::move(output)));
+        }
+        return OptimizeWithMemo(*fe, job, config);
       });
   if (!entry->status.ok()) return entry->status;
-  return std::shared_ptr<const opt::CompilationOutput>(entry, &entry->output);
+  return entry->output;
 }
 
 Result<opt::CompilationOutput> ScopeEngine::Compile(
@@ -191,6 +260,16 @@ std::shared_ptr<const exec::ExecutionProfile> ScopeEngine::PrepareProfile(
 telemetry::CompileCacheTelemetry ScopeEngine::compile_cache_telemetry() const {
   if (cache_ == nullptr) return telemetry::CompileCacheTelemetry{};
   return cache_->Telemetry();
+}
+
+telemetry::OptimizerTelemetry ScopeEngine::optimizer_telemetry() const {
+  telemetry::OptimizerTelemetry t;
+  t.memo_enabled = cross_config_memo_enabled();
+  t.memo_full_hits = memo_full_hits_.load(std::memory_order_relaxed);
+  t.memo_norm_hits = memo_norm_hits_.load(std::memory_order_relaxed);
+  t.memo_misses = memo_misses_.load(std::memory_order_relaxed);
+  t.interned_symbols = SymbolTable::Global().size();
+  return t;
 }
 
 telemetry::ExecProfileTelemetry ScopeEngine::exec_profile_telemetry() const {

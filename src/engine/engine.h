@@ -21,10 +21,12 @@
 #include "common/status.h"
 #include "exec/cluster.h"
 #include "exec/metrics.h"
+#include "optimizer/cross_config_memo.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/rules.h"
 #include "telemetry/cache_telemetry.h"
 #include "telemetry/exec_telemetry.h"
+#include "telemetry/optimizer_telemetry.h"
 #include "workload/template_gen.h"
 
 namespace qo::engine {
@@ -63,7 +65,9 @@ class ScopeEngine {
       exec::ClusterConfig cluster_config = {},
       cache::CompileCacheOptions cache_options =
           cache::CompileCacheOptions::FromEnv(),
-      ExecOptions exec_options = ExecOptions::FromEnv());
+      ExecOptions exec_options = ExecOptions::FromEnv(),
+      opt::CrossConfigMemoOptions memo_options =
+          opt::CrossConfigMemoOptions::FromEnv());
 
   /// Parses, compiles and optimizes the instance's script under `config`.
   /// CompileError on parse/semantic errors or infeasible configurations.
@@ -141,18 +145,36 @@ class ScopeEngine {
   /// Prepare/reuse counters for the prepared-execution path.
   telemetry::ExecProfileTelemetry exec_profile_telemetry() const;
 
+  /// True when L2 misses probe the per-job cross-config memo. Requires the
+  /// compile cache (the memo rides on front-end entries).
+  bool cross_config_memo_enabled() const {
+    return memo_options_.enabled && cache_ != nullptr;
+  }
+  /// Cross-config memo hit/miss counters plus the process-wide interned
+  /// symbol count.
+  telemetry::OptimizerTelemetry optimizer_telemetry() const;
+
  private:
   /// The seed the simulator derives all of a run's stochastic draws from.
   static uint64_t RunSeed(const workload::JobInstance& job, uint64_t run_salt);
-  /// The uncached compile path (also the cache's miss handler).
+  /// The uncached compile path (also the cache's miss handler when the
+  /// cross-config memo is off).
   Result<opt::CompilationOutput> Optimize(const scope::LogicalPlan& logical,
                                           const workload::JobInstance& job,
                                           const opt::RuleConfig& config) const;
+  /// L2-miss handler with the cross-config memo: probes the front-end
+  /// entry's footprint memo before (and feeds it after) a real optimizer
+  /// run. Returns a shared output — a full-tier hit and the memo insert are
+  /// both refcount bumps on the one immutable CompilationOutput.
+  Result<std::shared_ptr<const opt::CompilationOutput>> OptimizeWithMemo(
+      const cache::CachedFrontEnd& fe, const workload::JobInstance& job,
+      const opt::RuleConfig& config) const;
   cache::FrontEndKey FrontEndKeyOf(const workload::JobInstance& job) const;
 
   opt::OptimizerOptions optimizer_options_;
   exec::ClusterSimulator simulator_;
   ExecOptions exec_options_;
+  opt::CrossConfigMemoOptions memo_options_;
   /// Folded into every cache key so options changes can never alias.
   uint64_t options_fingerprint_ = 0;
   /// Null when disabled. Mutable state behind const Compile; internally
@@ -161,6 +183,10 @@ class ScopeEngine {
   /// Profile-slot reuse counters (relaxed; monotone under concurrency).
   mutable std::atomic<uint64_t> profile_hits_{0};
   mutable std::atomic<uint64_t> profile_misses_{0};
+  /// Cross-config memo counters (relaxed; monotone under concurrency).
+  mutable std::atomic<uint64_t> memo_full_hits_{0};
+  mutable std::atomic<uint64_t> memo_norm_hits_{0};
+  mutable std::atomic<uint64_t> memo_misses_{0};
 };
 
 }  // namespace qo::engine

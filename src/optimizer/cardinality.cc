@@ -13,22 +13,25 @@ double CapNdv(double ndv, double rows) {
 
 }  // namespace
 
-RelStats StatsDeriver::Scan(const std::string& table_path,
+RelStats StatsDeriver::Scan(Symbol table_path,
                             const scope::Schema& schema) const {
   RelStats out;
   auto stats = catalog_.Lookup(table_path);
   if (!stats.ok()) {
     // Unregistered input: assume a small table so compilation can proceed.
     out.rows = 1000.0;
-    for (const auto& col : schema.columns) out.ndv[col.name] = 100.0;
+    for (const auto& col : schema.columns) {
+      out.ndv[SymOf(col.sym, col.name)] = 100.0;
+    }
     return out;
   }
   const scope::TableStats& t = *stats.value();
   out.rows = mode_ == StatsMode::kTrue ? t.true_rows : t.est_rows;
   for (const auto& col : schema.columns) {
-    scope::ColumnStats cs = catalog_.LookupColumn(table_path, col.name);
+    Symbol col_sym = SymOf(col.sym, col.name);
+    const scope::ColumnStats& cs = catalog_.LookupColumn(table_path, col_sym);
     double ndv = mode_ == StatsMode::kTrue ? cs.true_ndv : cs.est_ndv;
-    out.ndv[col.name] = CapNdv(ndv, out.rows);
+    out.ndv[col_sym] = CapNdv(ndv, out.rows);
   }
   return out;
 }
@@ -39,7 +42,7 @@ double StatsDeriver::PredicateSelectivity(const scope::Predicate& pred,
     return pred.true_selectivity;
   }
   // Textbook heuristics (System R defaults), using the mode's NDV.
-  double ndv = std::max(1.0, input.NdvOf(pred.column));
+  double ndv = std::max(1.0, input.NdvOf(scope::ColumnSymOf(pred)));
   switch (pred.op) {
     case scope::CompareOp::kEq:
       return 1.0 / ndv;
@@ -75,18 +78,18 @@ RelStats StatsDeriver::Project(
   RelStats out;
   out.rows = input.rows;
   for (const auto& item : projections) {
-    if (item.column == "*") {
+    Symbol col_sym = scope::ColumnSymOf(item);
+    if (col_sym == kSymStar) {
       out.ndv = input.ndv;
       continue;
     }
-    out.ndv[item.OutputName()] = input.NdvOf(item.column);
+    out.ndv[scope::OutputSymOf(item)] = input.NdvOf(col_sym);
   }
   return out;
 }
 
 RelStats StatsDeriver::Join(const RelStats& left, const RelStats& right,
-                            const std::string& left_key,
-                            const std::string& right_key,
+                            Symbol left_key, Symbol right_key,
                             double true_fanout) const {
   RelStats out;
   if (mode_ == StatsMode::kTrue) {
@@ -109,35 +112,35 @@ RelStats StatsDeriver::Join(const RelStats& left, const RelStats& right,
 }
 
 RelStats StatsDeriver::Aggregate(
-    const RelStats& input, const std::vector<std::string>& group_by,
+    const RelStats& input, const std::vector<Symbol>& group_by,
     const std::vector<scope::SelectItem>& aggs) const {
   RelStats out;
   if (group_by.empty()) {
     out.rows = input.rows > 0 ? 1.0 : 0.0;
   } else {
     double groups = 1.0;
-    for (const auto& g : group_by) {
+    for (Symbol g : group_by) {
       groups *= std::max(1.0, input.NdvOf(g));
     }
     // Damped product: full independence over-counts combined NDVs badly.
     groups = std::pow(groups, mode_ == StatsMode::kEstimated ? 1.0 : 0.9);
     out.rows = std::min(groups, input.rows);
   }
-  for (const auto& g : group_by) {
+  for (Symbol g : group_by) {
     out.ndv[g] = CapNdv(input.NdvOf(g), out.rows);
   }
   for (const auto& item : aggs) {
-    out.ndv[item.OutputName()] = out.rows;
+    out.ndv[scope::OutputSymOf(item)] = out.rows;
   }
   return out;
 }
 
 RelStats StatsDeriver::PartialAggregate(const RelStats& input,
-                                        const std::vector<std::string>& group_by,
+                                        const std::vector<Symbol>& group_by,
                                         int partitions) const {
   RelStats out = input;
   double groups = 1.0;
-  for (const auto& g : group_by) {
+  for (Symbol g : group_by) {
     groups *= std::max(1.0, input.NdvOf(g));
   }
   groups = std::min(groups, input.rows);

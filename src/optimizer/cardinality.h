@@ -10,13 +10,20 @@
 // The deliberate divergence between the two modes reproduces the paper's
 // Sec. 5.2 finding that estimated cost improvements do not reliably predict
 // runtime improvements.
+//
+// Column identity is interned: NDV maps are keyed by `Symbol` ids and the
+// derivation methods take ids, so the memo's per-expression stats work is
+// integer probes. String overloads intern-and-delegate for callers that
+// still hold names (tests, diagnostics).
 #ifndef QO_OPTIMIZER_CARDINALITY_H_
 #define QO_OPTIMIZER_CARDINALITY_H_
 
+#include <algorithm>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/symbol_table.h"
 #include "scope/ast.h"
 #include "scope/catalog.h"
 #include "scope/types.h"
@@ -28,16 +35,64 @@ enum class StatsMode {
   kTrue,
 };
 
+/// Flat map Symbol -> double, sorted by symbol id. Relations carry a
+/// handful of columns, so binary-searched vectors beat hash tables on both
+/// probes and — the hot part — the whole-map copies stats derivation does
+/// for every memo group. Every derivation writes each key's value
+/// independently (no cross-entry accumulation), so the change of iteration
+/// order relative to the hash map it replaced cannot change any output.
+class NdvMap {
+ public:
+  using value_type = std::pair<Symbol, double>;
+  using iterator = std::vector<value_type>::iterator;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// The value for `key`, or null when absent.
+  const double* Find(Symbol key) const {
+    auto it = LowerBound(key);
+    return it != entries_.end() && it->first == key ? &it->second : nullptr;
+  }
+
+  size_t count(Symbol key) const { return Find(key) != nullptr ? 1 : 0; }
+
+  /// Insert-or-find, keeping entries sorted (new keys start at 0.0).
+  double& operator[](Symbol key) {
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, Symbol k) { return e.first < k; });
+    if (it != entries_.end() && it->first == key) return it->second;
+    return entries_.insert(it, {key, 0.0})->second;
+  }
+
+ private:
+  const_iterator LowerBound(Symbol key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, Symbol k) { return e.first < k; });
+  }
+
+  std::vector<value_type> entries_;
+};
+
 /// Derived relational properties of an operator output.
 struct RelStats {
   double rows = 0.0;
-  /// Per-output-column distinct value counts (capped at `rows`).
-  std::unordered_map<std::string, double> ndv;
+  /// Per-output-column distinct value counts (capped at `rows`), keyed by
+  /// the column's interned OutputName.
+  NdvMap ndv;
 
-  double NdvOf(const std::string& column) const {
-    auto it = ndv.find(column);
-    return it == ndv.end() ? rows : it->second;
+  double NdvOf(Symbol column) const {
+    const double* n = ndv.Find(column);
+    return n == nullptr ? rows : *n;
   }
+  double NdvOf(const std::string& column) const { return NdvOf(Sym(column)); }
 };
 
 /// Stateless derivation engine; one instance per (catalog, mode).
@@ -48,8 +103,11 @@ class StatsDeriver {
 
   StatsMode mode() const { return mode_; }
 
+  RelStats Scan(Symbol table_path, const scope::Schema& schema) const;
   RelStats Scan(const std::string& table_path,
-                const scope::Schema& schema) const;
+                const scope::Schema& schema) const {
+    return Scan(Sym(table_path), schema);
+  }
 
   RelStats Filter(const RelStats& input,
                   const std::vector<scope::Predicate>& predicates) const;
@@ -58,19 +116,33 @@ class StatsDeriver {
                    const std::vector<scope::SelectItem>& projections) const;
 
   /// Inner equi-join. `true_fanout` is consulted only in kTrue mode.
+  RelStats Join(const RelStats& left, const RelStats& right, Symbol left_key,
+                Symbol right_key, double true_fanout) const;
   RelStats Join(const RelStats& left, const RelStats& right,
                 const std::string& left_key, const std::string& right_key,
-                double true_fanout) const;
+                double true_fanout) const {
+    return Join(left, right, Sym(left_key), Sym(right_key), true_fanout);
+  }
 
   RelStats Aggregate(const RelStats& input,
-                     const std::vector<std::string>& group_by,
+                     const std::vector<Symbol>& group_by,
                      const std::vector<scope::SelectItem>& aggs) const;
+  RelStats Aggregate(const RelStats& input,
+                     const std::vector<std::string>& group_by,
+                     const std::vector<scope::SelectItem>& aggs) const {
+    return Aggregate(input, InternAll(group_by), aggs);
+  }
 
   /// Local pre-aggregation over `partitions` partitions: each partition can
   /// emit at most the full group count, so output = min(rows, groups * P).
   RelStats PartialAggregate(const RelStats& input,
-                            const std::vector<std::string>& group_by,
+                            const std::vector<Symbol>& group_by,
                             int partitions) const;
+  RelStats PartialAggregate(const RelStats& input,
+                            const std::vector<std::string>& group_by,
+                            int partitions) const {
+    return PartialAggregate(input, InternAll(group_by), partitions);
+  }
 
   RelStats UnionAll(const RelStats& left, const RelStats& right) const;
 
@@ -79,6 +151,13 @@ class StatsDeriver {
                               const RelStats& input) const;
 
  private:
+  static std::vector<Symbol> InternAll(const std::vector<std::string>& names) {
+    std::vector<Symbol> syms;
+    syms.reserve(names.size());
+    for (const auto& n : names) syms.push_back(Sym(n));
+    return syms;
+  }
+
   const scope::Catalog& catalog_;
   StatsMode mode_;
 };

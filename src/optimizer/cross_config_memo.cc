@@ -1,0 +1,79 @@
+#include "optimizer/cross_config_memo.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace qo::opt {
+
+CrossConfigMemoOptions CrossConfigMemoOptions::FromEnv() {
+  CrossConfigMemoOptions options;
+  const char* enabled = std::getenv("QO_CROSS_CONFIG_MEMO");
+  if (enabled != nullptr && std::strcmp(enabled, "0") == 0) {
+    options.enabled = false;
+  }
+  return options;
+}
+
+bool CrossConfigMemo::FindFull(
+    const BitVector256& config, Status* status,
+    std::shared_ptr<const CompilationOutput>* output) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const FullEntry& e : full_) {
+    if ((config & e.consulted) == e.values) {
+      *status = e.status;
+      if (e.status.ok()) *output = e.output;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::shared_ptr<const NormalizedPlan> CrossConfigMemo::FindNorm(
+    const BitVector256& config, BitVector256* norm_consulted) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const NormEntry& e : norm_) {
+    if ((config & e.consulted) == e.values) {
+      if (norm_consulted != nullptr) *norm_consulted = e.consulted;
+      return e.plan;
+    }
+  }
+  return nullptr;
+}
+
+void CrossConfigMemo::InsertFull(
+    const BitVector256& consulted, const BitVector256& config,
+    const Status& status, std::shared_ptr<const CompilationOutput> output) {
+  BitVector256 values = config & consulted;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (full_.size() >= kMaxFullEntries) return;
+  for (const FullEntry& e : full_) {
+    // An existing entry already covering this config makes the new one
+    // redundant (both replay to the same output).
+    if ((config & e.consulted) == e.values) return;
+  }
+  FullEntry e;
+  e.consulted = consulted;
+  e.values = values;
+  e.status = status;
+  if (status.ok()) e.output = std::move(output);
+  full_.push_back(std::move(e));
+}
+
+void CrossConfigMemo::InsertNorm(const BitVector256& consulted,
+                                 const BitVector256& config,
+                                 std::shared_ptr<const NormalizedPlan> plan) {
+  BitVector256 values = config & consulted;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (norm_.size() >= kMaxNormEntries) return;
+  for (const NormEntry& e : norm_) {
+    if ((config & e.consulted) == e.values) return;
+  }
+  NormEntry e;
+  e.consulted = consulted;
+  e.values = values;
+  e.plan = std::move(plan);
+  norm_.push_back(std::move(e));
+}
+
+}  // namespace qo::opt

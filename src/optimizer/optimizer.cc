@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/hash.h"
 #include "optimizer/cardinality.h"
 
 namespace qo::opt {
@@ -34,22 +37,29 @@ struct PhysProp {
     kSingleton,  ///< single partition
   };
   Kind kind = Kind::kAny;
-  std::string key;
+  std::string key;            ///< rendered into exchange_key (display only)
+  Symbol key_sym = kSymEmpty; ///< identity used for hashing/equality
   int partitions_hint = 0;  ///< consumer partitions for kBroadcast requests
 
-  static PhysProp Any() { return {Kind::kAny, "", 0}; }
-  static PhysProp Random() { return {Kind::kRandom, "", 0}; }
-  static PhysProp Hash(std::string k) { return {Kind::kHash, std::move(k), 0}; }
-  static PhysProp Broadcast(int consumers) {
-    return {Kind::kBroadcast, "", consumers};
+  static PhysProp Any() { return {Kind::kAny, "", kSymEmpty, 0}; }
+  static PhysProp Random() { return {Kind::kRandom, "", kSymEmpty, 0}; }
+  static PhysProp Hash(std::string k, Symbol s) {
+    return {Kind::kHash, std::move(k), s, 0};
   }
-  static PhysProp Singleton() { return {Kind::kSingleton, "", 0}; }
+  static PhysProp Broadcast(int consumers) {
+    return {Kind::kBroadcast, "", kSymEmpty, consumers};
+  }
+  static PhysProp Singleton() { return {Kind::kSingleton, "", kSymEmpty, 0}; }
 
   uint64_t HashValue() const {
-    uint64_t h = static_cast<uint64_t>(kind) * 0x9e3779b97f4a7c15ULL;
-    for (char c : key) h = h * 131 + static_cast<unsigned char>(c);
-    h ^= static_cast<uint64_t>(partitions_hint) << 32;
-    return h;
+    // Injective pack of (kind, partitions_hint, key_sym): unlike the old
+    // byte-wise string hash, distinct properties can never collide in the
+    // winners table.
+    return (static_cast<uint64_t>(kind) << 56) |
+           (static_cast<uint64_t>(static_cast<uint32_t>(partitions_hint) &
+                                  0xffffffu)
+            << 32) |
+           static_cast<uint64_t>(key_sym);
   }
 
   /// True if a delivered property satisfies this requirement.
@@ -58,7 +68,8 @@ struct PhysProp {
       case Kind::kAny:
         return true;
       case Kind::kHash:
-        return (delivered.kind == Kind::kHash && delivered.key == key) ||
+        return (delivered.kind == Kind::kHash &&
+                delivered.key_sym == key_sym) ||
                delivered.kind == Kind::kSingleton;
       case Kind::kSingleton:
         return delivered.kind == Kind::kSingleton;
@@ -98,7 +109,7 @@ class Normalizer {
     if (it != memo_.end()) return it->second;
     LogicalNode node = plan_->node(id);  // copy: children may be replaced
     for (int& c : node.children) c = Rewrite(c);
-    int current = plan_->AddNode(node);
+    int current = plan_->AddNode(std::move(node));
     // Apply local rules until none fires (bounded for safety).
     for (int iter = 0; iter < 16; ++iter) {
       int next = ApplyLocalRules(current);
@@ -178,16 +189,21 @@ class Normalizer {
     // column is computed (aggregates never appear in kProject).
     std::vector<Predicate> translated;
     for (const Predicate& p : filter.predicates) {
-      std::string source;
+      const SelectItem* source = nullptr;
+      Symbol pred_sym = scope::ColumnSymOf(p);
       for (const SelectItem& item : project.projections) {
-        if (item.OutputName() == p.column) {
-          source = item.column;
+        if (scope::OutputSymOf(item) == pred_sym) {
+          source = &item;
           break;
         }
       }
-      if (source.empty() || !input.HasColumn(source)) return id;
+      if (source == nullptr || source->column.empty() ||
+          !input.HasColumn(scope::ColumnSymOf(*source))) {
+        return id;
+      }
       Predicate q = p;
-      q.column = source;
+      q.column = source->column;
+      q.column_sym = scope::ColumnSymOf(*source);
       translated.push_back(std::move(q));
     }
     LogicalNode new_filter;
@@ -209,10 +225,11 @@ class Normalizer {
     const Schema& right = plan_->node(join.children[1]).schema;
     std::vector<Predicate> to_left, to_right, rest;
     for (const Predicate& p : filter.predicates) {
-      if (left.HasColumn(p.column) &&
+      Symbol pred_sym = scope::ColumnSymOf(p);
+      if (left.HasColumn(pred_sym) &&
           Enabled(rules::kFilterPushdownIntoJoinLeft)) {
         to_left.push_back(p);
-      } else if (right.HasColumn(p.column) &&
+      } else if (right.HasColumn(pred_sym) &&
                  Enabled(rules::kFilterPushdownIntoJoinRight)) {
         to_right.push_back(p);
       } else {
@@ -278,17 +295,21 @@ class Normalizer {
     if (inner.kind != LogicalOpKind::kProject) return id;
     std::vector<SelectItem> merged_items;
     for (const SelectItem& item : outer.projections) {
-      std::string source;
+      const SelectItem* source = nullptr;
+      Symbol item_sym = scope::ColumnSymOf(item);
       for (const SelectItem& in_item : inner.projections) {
-        if (in_item.OutputName() == item.column) {
-          source = in_item.column;
+        if (scope::OutputSymOf(in_item) == item_sym) {
+          source = &in_item;
           break;
         }
       }
-      if (source.empty()) return id;
+      if (source == nullptr || source->column.empty()) return id;
       SelectItem m;
-      m.column = source;
+      m.column = source->column;
+      m.column_sym = scope::ColumnSymOf(*source);
       m.alias = item.OutputName();
+      m.alias_sym = scope::OutputSymOf(item);
+      m.out_sym = m.alias.empty() ? m.column_sym : m.alias_sym;
       merged_items.push_back(std::move(m));
     }
     LogicalNode merged = outer;
@@ -301,49 +322,59 @@ class Normalizer {
   /// Column pruning below joins and aggregates: inserts narrowing Projects
   /// when a child carries columns no consumer needs.
   void PruneColumns() {
-    if (!Enabled(rules::kProjectPruneBelowJoin) &&
-        !Enabled(rules::kProjectPruneBelowAgg)) {
-      return;
-    }
-    // Required column sets, propagated from the roots down.
-    std::unordered_map<int, std::unordered_set<std::string>> required;
+    // Only joins and aggregates are pruned below; consult the rule bits only
+    // when such a node exists so configs differing in the prune rules on
+    // join/agg-free jobs stay footprint-compatible (cross-config memo).
     std::vector<int> order = TopologicalOrder();
+    bool has_join = false, has_agg = false;
+    for (int id : order) {
+      LogicalOpKind k = plan_->node(id).kind;
+      has_join |= k == LogicalOpKind::kJoin;
+      has_agg |= k == LogicalOpKind::kAggregate;
+    }
+    bool join_on = has_join && Enabled(rules::kProjectPruneBelowJoin);
+    bool agg_on = has_agg && Enabled(rules::kProjectPruneBelowAgg);
+    if (!join_on && !agg_on) return;
+    // Required column sets, propagated from the roots down.
+    std::unordered_map<int, std::unordered_set<Symbol>> required;
     for (int root : plan_->roots) {
       for (const auto& c : plan_->node(root).schema.columns) {
-        required[root].insert(c.name);
+        required[root].insert(c.sym);
       }
     }
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       const LogicalNode& n = plan_->node(*it);
-      std::unordered_set<std::string>& req = required[*it];
+      std::unordered_set<Symbol>& req = required[*it];
       // Columns this node itself consumes.
-      for (const Predicate& p : n.predicates) req.insert(p.column);
-      for (const SelectItem& s : n.projections) {
-        if (s.column != "*") req.insert(s.column);
+      for (const Predicate& p : n.predicates) {
+        req.insert(scope::ColumnSymOf(p));
       }
-      for (const std::string& g : n.group_by) req.insert(g);
+      for (const SelectItem& s : n.projections) {
+        Symbol col_sym = scope::ColumnSymOf(s);
+        if (col_sym != kSymStar) req.insert(col_sym);
+      }
+      for (Symbol g : n.group_by_syms) req.insert(g);
       if (n.kind == LogicalOpKind::kJoin) {
-        req.insert(n.left_key);
-        req.insert(n.right_key);
+        req.insert(n.left_key_sym);
+        req.insert(n.right_key_sym);
       }
       for (int c : n.children) {
         const Schema& cs = plan_->node(c).schema;
         for (const auto& col : cs.columns) {
-          bool needed = req.count(col.name) > 0;
+          bool needed = req.count(col.sym) > 0;
           // Projections / aggregates cut the dependency chain; other
           // operators pass requirements through.
           if (n.kind == LogicalOpKind::kFilter ||
               n.kind == LogicalOpKind::kUnionAll ||
               n.kind == LogicalOpKind::kOutput ||
               n.kind == LogicalOpKind::kJoin) {
-            if (needed) required[c].insert(col.name);
+            if (needed) required[c].insert(col.sym);
           } else if (needed) {
-            required[c].insert(col.name);
+            required[c].insert(col.sym);
           }
         }
         // Node-consumed columns also flow to whichever child has them.
-        for (const std::string& col : std::vector<std::string>(req.begin(),
-                                                               req.end())) {
+        for (Symbol col : std::vector<Symbol>(req.begin(), req.end())) {
           if (cs.HasColumn(col)) required[c].insert(col);
         }
       }
@@ -354,8 +385,7 @@ class Normalizer {
     for (int id : order) {
       bool is_join = plan_->node(id).kind == LogicalOpKind::kJoin;
       bool is_agg = plan_->node(id).kind == LogicalOpKind::kAggregate;
-      if ((is_join && !Enabled(rules::kProjectPruneBelowJoin)) ||
-          (is_agg && !Enabled(rules::kProjectPruneBelowAgg)) ||
+      if ((is_join && !join_on) || (is_agg && !agg_on) ||
           (!is_join && !is_agg)) {
         continue;
       }
@@ -366,7 +396,7 @@ class Normalizer {
         const auto& req = required[c];
         std::vector<scope::Column> kept;
         for (const auto& col : plan_->node(c).schema.columns) {
-          if (req.count(col.name) > 0) kept.push_back(col);
+          if (req.count(col.sym) > 0) kept.push_back(col);
         }
         if (kept.empty() ||
             kept.size() >= plan_->node(c).schema.columns.size()) {
@@ -387,6 +417,9 @@ class Normalizer {
         for (const auto& col : kept) {
           SelectItem item;
           item.column = col.name;
+          item.column_sym = col.sym;
+          item.alias_sym = kSymEmpty;
+          item.out_sym = col.sym;
           proj.projections.push_back(std::move(item));
           proj.schema.columns.push_back(col);
         }
@@ -424,43 +457,65 @@ struct MExpr {
   LogicalOpKind kind = LogicalOpKind::kScan;
   std::vector<int> children;  ///< group ids
   std::string table_path;
+  Symbol table_sym = kNoSymbol;
   std::vector<Predicate> predicates;
   std::vector<SelectItem> projections;
   std::vector<std::string> group_by;
+  std::vector<Symbol> group_by_syms;
   std::string left_key;
   std::string right_key;
+  Symbol left_key_sym = kNoSymbol;
+  Symbol right_key_sym = kNoSymbol;
   double true_fanout = 1.0;
   std::string output_path;
   bool partial_agg = false;  ///< local pre-aggregation (eager agg)
   BitVector256 derivation;   ///< transformation rules that produced this expr
   uint32_t applied = 0;      ///< transformation-rule bitmask already tried
 
-  std::string Fingerprint() const {
-    std::string f = std::to_string(static_cast<int>(kind));
-    for (int c : children) {
-      f += ',';
-      f += std::to_string(c);
+  /// Structural identity hash over interned ids — replaces the old string
+  /// key. Field counts are chained in as separators so adjacent lists can't
+  /// alias. A 64-bit collision within one group's handful of exprs
+  /// (~2^-64 per pair) would only drop a duplicate alternative, never
+  /// corrupt a plan.
+  uint64_t Fingerprint() const {
+    uint64_t h = HashU64(static_cast<uint64_t>(kind), 0x9e3779b97f4a7c15ULL);
+    h = HashU64(children.size(), h);
+    for (int c : children) h = HashU64(static_cast<uint64_t>(c), h);
+    h = HashU64(SymOf(table_sym, table_path), h);
+    h = HashU64(SymOf(left_key_sym, left_key), h);
+    h = HashU64(SymOf(right_key_sym, right_key), h);
+    h = HashU64(partial_agg ? 1 : 0, h);
+    h = HashU64(predicates.size(), h);
+    for (const Predicate& p : predicates) {
+      h = HashU64(scope::ColumnSymOf(p), h);
+      h = HashU64(static_cast<uint64_t>(p.op), h);
+      h = HashU64(p.literal_sym != kNoSymbol ? p.literal_sym : Sym(p.literal),
+                  h);
     }
-    f += '|';
-    f += table_path;
-    f += '|';
-    f += left_key;
-    f += '|';
-    f += right_key;
-    if (partial_agg) f += "|P";
-    for (const auto& p : predicates) {
-      f += '|';
-      f += p.ToString();
+    h = HashU64(projections.size(), h);
+    for (const SelectItem& s : projections) {
+      h = HashU64(static_cast<uint64_t>(s.agg), h);
+      h = HashU64(scope::ColumnSymOf(s), h);
+      h = HashU64(SymOf(s.alias_sym, s.alias), h);
     }
-    for (const auto& s : projections) {
-      f += '|';
-      f += s.ToString();
+    h = HashU64(group_by.size(), h);
+    if (group_by_syms.size() == group_by.size()) {
+      // Maintained syms: hash in place, no temporary vector per call.
+      for (Symbol g : group_by_syms) h = HashU64(g, h);
+    } else {
+      for (const std::string& g : group_by) h = HashU64(Sym(g), h);
     }
-    for (const auto& g : group_by) {
-      f += '|';
-      f += g;
-    }
-    return f;
+    return MixHash(h);
+  }
+
+  /// group_by as interned ids; interns lazily when the syms were not
+  /// maintained (hand-built plans in tests).
+  std::vector<Symbol> GroupBySymsResolved() const {
+    if (group_by_syms.size() == group_by.size()) return group_by_syms;
+    std::vector<Symbol> out;
+    out.reserve(group_by.size());
+    for (const std::string& g : group_by) out.push_back(Sym(g));
+    return out;
   }
 };
 
@@ -473,13 +528,16 @@ struct Winner {
 };
 
 struct Group {
-  std::vector<MExpr> exprs;
+  /// deque: appending alternatives never moves existing exprs, so the
+  /// search holds references across AddExprToGroup instead of deep-copying
+  /// every MExpr it touches.
+  std::deque<MExpr> exprs;
   Schema schema;
   RelStats est;
   RelStats tru;
   bool explored = false;
   std::unordered_map<uint64_t, Winner> winners;
-  std::unordered_set<std::string> fingerprints;
+  std::unordered_set<uint64_t> fingerprints;
 };
 
 // Local indices for the `applied` bitmask.
@@ -501,28 +559,55 @@ class MemoOptimizer {
                 const RuleConfig& config)
       : catalog_(catalog),
         options_(options),
-        config_(config),
+        config_(config),  // by value: the copy carries this compile's sink
         est_(catalog, StatsMode::kEstimated),
         tru_(catalog, StatsMode::kTrue),
         cost_model_(options.cost_params) {}
 
-  Result<CompilationOutput> Run(const LogicalPlan& input) {
+  /// Full compilation. Rule bits consulted while validating + normalizing
+  /// are recorded into `norm_sink`, the rest into `post_sink` (either may
+  /// be null); on success `normalized_out` (if non-null) receives the
+  /// normalized plan for cross-config reuse.
+  Result<CompilationOutput> Run(
+      const LogicalPlan& input, BitVector256* norm_sink,
+      BitVector256* post_sink,
+      std::shared_ptr<const NormalizedPlan>* normalized_out) {
+    config_.TrackConsulted(norm_sink);
     QO_RETURN_IF_ERROR(config_.Validate());
-    LogicalPlan plan = input;  // normalization mutates a copy
-    Normalizer normalizer(&plan, config_);
-    BitVector256 norm_fired = normalizer.Run();
+    auto norm = std::make_shared<NormalizedPlan>();
+    norm->plan = input;  // normalization mutates a copy
+    // Defensive for hand-built plans: no-op when the compiler interned.
+    scope::InternPlanSymbols(&norm->plan);
+    {
+      Normalizer normalizer(&norm->plan, config_);
+      norm->fired = normalizer.Run();
+    }
+    std::shared_ptr<const NormalizedPlan> frozen = std::move(norm);
+    if (normalized_out != nullptr) *normalized_out = frozen;
+    return RunPostNormalize(*frozen, post_sink);
+  }
+
+  /// Cost-based search over an already validated + normalized plan.
+  Result<CompilationOutput> RunPostNormalize(const NormalizedPlan& norm,
+                                             BitVector256* post_sink) {
+    config_.TrackConsulted(post_sink);
+    RegisterScanSchemas(norm.plan);
+    // One up-front block for the candidate arena: typical searches stay
+    // under this, so AddNode never reallocates (PhysicalNode is string- and
+    // vector-heavy; doubling growth moved every candidate ~log N times).
+    scratch_.nodes.reserve(128);
 
     // Build memo groups from the normalized DAG.
     std::unordered_map<int, int> node_to_group;
     std::vector<int> root_groups;
-    for (int r : plan.roots) {
-      QO_ASSIGN_OR_RETURN(int g, BuildGroup(plan, r, &node_to_group));
+    for (int r : norm.plan.roots) {
+      QO_ASSIGN_OR_RETURN(int g, BuildGroup(norm.plan, r, &node_to_group));
       root_groups.push_back(g);
     }
 
     // Optimize every output root.
     std::vector<int> root_phys;
-    BitVector256 signature = norm_fired;
+    BitVector256 signature = norm.fired;
     for (int g : root_groups) {
       Winner w = OptimizeGroup(g, PhysProp::Any(), 0);
       if (!w.feasible) {
@@ -555,11 +640,15 @@ class MemoOptimizer {
     MExpr expr;
     expr.kind = n.kind;
     expr.table_path = n.table_path;
+    expr.table_sym = n.table_sym;
     expr.predicates = n.predicates;
     expr.projections = n.projections;
     expr.group_by = n.group_by;
+    expr.group_by_syms = n.group_by_syms;
     expr.left_key = n.left_key;
     expr.right_key = n.right_key;
+    expr.left_key_sym = n.left_key_sym;
+    expr.right_key_sym = n.right_key_sym;
     expr.true_fanout = n.true_fanout;
     expr.output_path = n.output_path;
     for (int c : n.children) {
@@ -571,7 +660,7 @@ class MemoOptimizer {
     return gid;
   }
 
-  int MakeGroup(MExpr expr, Schema schema) {
+  int MakeGroup(MExpr&& expr, Schema schema) {
     Group group;
     group.schema = std::move(schema);
     group.est = DeriveStats(expr, est_);
@@ -589,7 +678,8 @@ class MemoOptimizer {
     };
     switch (e.kind) {
       case LogicalOpKind::kScan: {
-        RelStats s = deriver.Scan(e.table_path, SchemaOfScan(e));
+        RelStats s =
+            deriver.Scan(SymOf(e.table_sym, e.table_path), SchemaOfScan(e));
         if (!e.predicates.empty()) s = deriver.Filter(s, e.predicates);
         return s;
       }
@@ -598,14 +688,18 @@ class MemoOptimizer {
       case LogicalOpKind::kProject:
         return deriver.Project(child(0), e.projections);
       case LogicalOpKind::kJoin:
-        return deriver.Join(child(0), child(1), e.left_key, e.right_key,
+        return deriver.Join(child(0), child(1),
+                            SymOf(e.left_key_sym, e.left_key),
+                            SymOf(e.right_key_sym, e.right_key),
                             e.true_fanout);
       case LogicalOpKind::kAggregate:
         if (e.partial_agg) {
           int parts = ChoosePartitions(child(0).rows * 64.0);
-          return deriver.PartialAggregate(child(0), e.group_by, parts);
+          return deriver.PartialAggregate(child(0), e.GroupBySymsResolved(),
+                                          parts);
         }
-        return deriver.Aggregate(child(0), e.group_by, e.projections);
+        return deriver.Aggregate(child(0), e.GroupBySymsResolved(),
+                                 e.projections);
       case LogicalOpKind::kUnionAll:
         return deriver.UnionAll(child(0), child(1));
       case LogicalOpKind::kOutput:
@@ -617,25 +711,20 @@ class MemoOptimizer {
   // Scans derive stats from their full extracted schema (before embedded
   // predicates); the group schema already equals it.
   Schema SchemaOfScan(const MExpr& e) const {
-    // The scan group's schema is the extract schema itself.
-    for (const auto& g : groups_) {
-      (void)g;
-      break;
-    }
-    return scan_schema_.count(e.table_path) > 0
-               ? scan_schema_.at(e.table_path)
-               : Schema{};
+    auto it = scan_schema_.find(SymOf(e.table_sym, e.table_path));
+    return it != scan_schema_.end() ? it->second : Schema{};
   }
 
- public:
-  /// Remembers scan schemas before BuildGroup runs (set from Run()).
+  /// Remembers scan schemas before BuildGroup runs. The normalized arena
+  /// still contains every original scan node (rewrites only append), so
+  /// registering from it is equivalent to registering from the input plan.
   void RegisterScanSchemas(const LogicalPlan& plan) {
     for (const auto& n : plan.nodes) {
-      if (n.kind == LogicalOpKind::kScan) scan_schema_[n.table_path] = n.schema;
+      if (n.kind == LogicalOpKind::kScan) {
+        scan_schema_[SymOf(n.table_sym, n.table_path)] = n.schema;
+      }
     }
   }
-
- private:
   // ----- Exploration --------------------------------------------------------
 
   void ExploreGroup(int gid) {
@@ -647,11 +736,9 @@ class MemoOptimizer {
              static_cast<size_t>(options_.max_exprs_per_group);
          ++i) {
       // Explore children first so their alternatives are visible to
-      // pattern-matching rules here.
-      {
-        MExpr expr = groups_[gid].exprs[i];
-        for (int c : expr.children) ExploreGroup(c);
-      }
+      // pattern-matching rules here. Safe by reference: both arenas are
+      // deques, so recursive exploration can append without moving exprs[i].
+      for (int c : groups_[gid].exprs[i].children) ExploreGroup(c);
       TryJoinCommute(gid, i);
       TryJoinAssociativity(gid, i);
       TryEagerAggregation(gid, i, /*left_side=*/true);
@@ -667,7 +754,7 @@ class MemoOptimizer {
     groups_[gid].exprs[i].applied |= (1u << tx);
   }
 
-  void AddExprToGroup(int gid, MExpr expr) {
+  void AddExprToGroup(int gid, MExpr&& expr) {
     Group& g = groups_[gid];
     if (g.exprs.size() >= static_cast<size_t>(options_.max_exprs_per_group)) {
       return;
@@ -677,14 +764,18 @@ class MemoOptimizer {
   }
 
   void TryJoinCommute(int gid, size_t i) {
-    if (!config_.IsEnabled(rules::kJoinCommute)) return;
+    // Structural guards run before the rule-bit probe so the bit is only
+    // consulted when the rule could actually fire (keeps the cross-config
+    // memo footprint tight on join-free jobs).
     if (groups_[gid].exprs[i].kind != LogicalOpKind::kJoin) return;
+    if (!config_.IsEnabled(rules::kJoinCommute)) return;
     if (AlreadyApplied(gid, i, kTxJoinCommute)) return;
     MarkApplied(gid, i, kTxJoinCommute);
-    MExpr e = groups_[gid].exprs[i];
+    const MExpr& e = groups_[gid].exprs[i];
     MExpr swapped = e;
     std::swap(swapped.children[0], swapped.children[1]);
     std::swap(swapped.left_key, swapped.right_key);
+    std::swap(swapped.left_key_sym, swapped.right_key_sym);
     // Preserve ground-truth output rows: rows = L*f = R*f'.
     double l_rows = groups_[e.children[0]].tru.rows;
     double r_rows = std::max(1.0, groups_[e.children[1]].tru.rows);
@@ -695,25 +786,33 @@ class MemoOptimizer {
   }
 
   void TryJoinAssociativity(int gid, size_t i) {
-    if (!config_.IsEnabled(rules::kJoinAssociativity)) return;
     if (groups_[gid].exprs[i].kind != LogicalOpKind::kJoin) return;
+    if (!config_.IsEnabled(rules::kJoinAssociativity)) return;
     if (AlreadyApplied(gid, i, kTxJoinAssoc)) return;
     MarkApplied(gid, i, kTxJoinAssoc);
-    MExpr e = groups_[gid].exprs[i];  // (A join B) join C
+    const MExpr& e = groups_[gid].exprs[i];  // (A join B) join C
     int left_gid = e.children[0];
-    for (const MExpr& j2 : CollectPatternExprs(left_gid,
-                                               LogicalOpKind::kJoin)) {
+    for (const MExpr* j2p : CollectPatternExprs(left_gid,
+                                                LogicalOpKind::kJoin)) {
+      const MExpr& j2 = *j2p;
       int a_gid = j2.children[0];
       int b_gid = j2.children[1];
       // The key joining to C must come from B.
-      if (!groups_[b_gid].schema.HasColumn(e.left_key)) continue;
-      if (!groups_[a_gid].schema.HasColumn(j2.left_key)) continue;
+      if (!groups_[b_gid].schema.HasColumn(SymOf(e.left_key_sym, e.left_key))) {
+        continue;
+      }
+      if (!groups_[a_gid].schema.HasColumn(
+              SymOf(j2.left_key_sym, j2.left_key))) {
+        continue;
+      }
       // inner = B join C.
       MExpr inner;
       inner.kind = LogicalOpKind::kJoin;
       inner.children = {b_gid, e.children[1]};
       inner.left_key = e.left_key;
       inner.right_key = e.right_key;
+      inner.left_key_sym = e.left_key_sym;
+      inner.right_key_sym = e.right_key_sym;
       inner.true_fanout = e.true_fanout;
       inner.derivation = e.derivation | j2.derivation;
       inner.derivation.Set(rules::kJoinAssociativity);
@@ -726,6 +825,8 @@ class MemoOptimizer {
       outer.children = {a_gid, inner_gid};
       outer.left_key = j2.left_key;
       outer.right_key = j2.right_key;
+      outer.left_key_sym = j2.left_key_sym;
+      outer.right_key_sym = j2.right_key_sym;
       outer.true_fanout = j2.true_fanout * e.true_fanout;
       outer.derivation = e.derivation | j2.derivation;
       outer.derivation.Set(rules::kJoinAssociativity);
@@ -739,24 +840,33 @@ class MemoOptimizer {
     int rule = left_side ? rules::kEagerAggregationLeft
                          : rules::kEagerAggregationRight;
     TransformIndex tx = left_side ? kTxEagerAggLeft : kTxEagerAggRight;
+    {
+      const MExpr& probe = groups_[gid].exprs[i];
+      if (probe.kind != LogicalOpKind::kAggregate || probe.partial_agg) return;
+    }
     if (!config_.IsEnabled(rule)) return;
-    MExpr e = groups_[gid].exprs[i];
-    if (e.kind != LogicalOpKind::kAggregate || e.partial_agg) return;
     if (AlreadyApplied(gid, i, tx)) return;
     MarkApplied(gid, i, tx);
+    const MExpr& e = groups_[gid].exprs[i];
+    std::vector<Symbol> e_group_syms = e.GroupBySymsResolved();
     int child_gid = e.children[0];
-    for (const MExpr& join : CollectPatternExprs(child_gid,
-                                                 LogicalOpKind::kJoin)) {
+    for (const MExpr* joinp : CollectPatternExprs(child_gid,
+                                                  LogicalOpKind::kJoin)) {
+      const MExpr& join = *joinp;
       int side_gid = join.children[left_side ? 0 : 1];
       const Schema& side_schema = groups_[side_gid].schema;
       const std::string& join_key = left_side ? join.left_key : join.right_key;
+      Symbol join_key_sym = left_side ? SymOf(join.left_key_sym, join.left_key)
+                                      : SymOf(join.right_key_sym,
+                                              join.right_key);
       // All grouping keys and aggregate inputs must come from this side.
       bool applicable = true;
-      for (const std::string& g : e.group_by) {
+      for (Symbol g : e_group_syms) {
         if (!side_schema.HasColumn(g)) applicable = false;
       }
       for (const SelectItem& item : e.projections) {
-        if (item.column != "*" && !side_schema.HasColumn(item.column)) {
+        Symbol col_sym = scope::ColumnSymOf(item);
+        if (col_sym != kSymStar && !side_schema.HasColumn(col_sym)) {
           applicable = false;
         }
       }
@@ -767,22 +877,27 @@ class MemoOptimizer {
       partial.partial_agg = true;
       partial.children = {side_gid};
       partial.group_by = e.group_by;
+      partial.group_by_syms = e_group_syms;
       bool key_in_groups = false;
-      for (const std::string& g : e.group_by) {
-        if (g == join_key) key_in_groups = true;
+      for (Symbol g : e_group_syms) {
+        if (g == join_key_sym) key_in_groups = true;
       }
-      if (!key_in_groups) partial.group_by.push_back(join_key);
+      if (!key_in_groups) {
+        partial.group_by.push_back(join_key);
+        partial.group_by_syms.push_back(join_key_sym);
+      }
       partial.projections = e.projections;
       partial.derivation = e.derivation | join.derivation;
       partial.derivation.Set(rule);
       Schema partial_schema;
       for (const auto& col : side_schema.columns) {
-        bool keep = col.name == join_key;
-        for (const std::string& g : e.group_by) {
-          if (g == col.name) keep = true;
+        Symbol col_sym = SymOf(col.sym, col.name);
+        bool keep = col_sym == join_key_sym;
+        for (Symbol g : e_group_syms) {
+          if (g == col_sym) keep = true;
         }
         for (const SelectItem& item : e.projections) {
-          if (item.column == col.name) keep = true;
+          if (scope::ColumnSymOf(item) == col_sym) keep = true;
         }
         if (keep) partial_schema.columns.push_back(col);
       }
@@ -806,14 +921,15 @@ class MemoOptimizer {
   }
 
   void TryJoinThroughUnion(int gid, size_t i) {
+    if (groups_[gid].exprs[i].kind != LogicalOpKind::kJoin) return;
     if (!config_.IsEnabled(rules::kPushJoinThroughUnion)) return;
-    MExpr e = groups_[gid].exprs[i];
-    if (e.kind != LogicalOpKind::kJoin) return;
     if (AlreadyApplied(gid, i, kTxJoinThroughUnion)) return;
     MarkApplied(gid, i, kTxJoinThroughUnion);
+    const MExpr& e = groups_[gid].exprs[i];
     int left_gid = e.children[0];
-    for (const MExpr& u : CollectPatternExprs(left_gid,
-                                              LogicalOpKind::kUnionAll)) {
+    for (const MExpr* up : CollectPatternExprs(left_gid,
+                                               LogicalOpKind::kUnionAll)) {
+      const MExpr& u = *up;
       int join_gids[2];
       for (int side = 0; side < 2; ++side) {
         MExpr nj = e;
@@ -837,7 +953,7 @@ class MemoOptimizer {
   static Schema ConcatSchemas(const Schema& l, const Schema& r) {
     Schema out = l;
     for (const auto& c : r.columns) {
-      if (!out.HasColumn(c.name)) out.columns.push_back(c);
+      if (!out.HasColumn(SymOf(c.sym, c.name))) out.columns.push_back(c);
     }
     return out;
   }
@@ -857,19 +973,18 @@ class MemoOptimizer {
 
   /// Expressions of `kind` in group `gid`, looking through one level of
   /// pure pruning projects (which rules 46/47 insert below joins and
-  /// aggregates and would otherwise hide the patterns).
-  std::vector<MExpr> CollectPatternExprs(int gid, LogicalOpKind kind) {
-    std::vector<MExpr> out;
-    for (size_t i = 0; i < groups_[gid].exprs.size(); ++i) {
-      MExpr e = groups_[gid].exprs[i];
+  /// aggregates and would otherwise hide the patterns). Returns pointers
+  /// into the expr deques — stable across MakeGroup/AddExprToGroup, so
+  /// callers match patterns without copying whole MExprs.
+  std::vector<const MExpr*> CollectPatternExprs(int gid,
+                                                LogicalOpKind kind) const {
+    std::vector<const MExpr*> out;
+    for (const MExpr& e : groups_[gid].exprs) {
       if (e.kind == kind) {
-        out.push_back(std::move(e));
+        out.push_back(&e);
       } else if (IsPureProject(e)) {
-        int below = e.children[0];
-        for (size_t j = 0; j < groups_[below].exprs.size(); ++j) {
-          if (groups_[below].exprs[j].kind == kind) {
-            out.push_back(groups_[below].exprs[j]);
-          }
+        for (const MExpr& b : groups_[e.children[0]].exprs) {
+          if (b.kind == kind) out.push_back(&b);
         }
       }
     }
@@ -891,8 +1006,9 @@ class MemoOptimizer {
     Winner best;
     const size_t n_exprs = groups_[gid].exprs.size();
     for (size_t i = 0; i < n_exprs; ++i) {
-      MExpr expr = groups_[gid].exprs[i];  // copy: groups_ may grow
-      ImplementExpr(gid, expr, required, depth, &best);
+      // By reference: the deque arenas keep exprs pinned while recursive
+      // OptimizeGroup calls grow groups_ underneath this loop.
+      ImplementExpr(gid, groups_[gid].exprs[i], required, depth, &best);
     }
     // Enforcer: satisfy the requirement by exchanging the Any-winner.
     if (required.kind != PhysProp::Kind::kAny) {
@@ -1019,7 +1135,8 @@ class MemoOptimizer {
         // Parallelism follows the bytes the scan *reads* (the full table),
         // not its possibly-filtered output.
         double table_bytes = est_rows * schema.RowWidthBytes();
-        auto table_stats = catalog_.Lookup(expr.table_path);
+        auto table_stats = catalog_.Lookup(SymOf(expr.table_sym,
+                                                 expr.table_path));
         if (table_stats.ok()) {
           table_bytes = table_stats.value()->est_bytes();
         }
@@ -1050,17 +1167,18 @@ class MemoOptimizer {
         if (expr.kind == LogicalOpKind::kProject &&
             child_req.kind == PhysProp::Kind::kHash) {
           // Translate the key through the projection.
-          std::string source;
+          const SelectItem* source = nullptr;
           for (const SelectItem& item : expr.projections) {
-            if (item.OutputName() == child_req.key &&
+            if (scope::OutputSymOf(item) == child_req.key_sym &&
                 item.agg == scope::AggFunc::kNone) {
-              source = item.column;
+              source = &item;
             }
           }
-          if (source.empty()) {
+          if (source == nullptr || source->column.empty()) {
             child_req = PhysProp::Any();  // fall back to enforcer above
           } else {
-            child_req.key = source;
+            child_req.key = source->column;
+            child_req.key_sym = scope::ColumnSymOf(*source);
           }
         }
         Winner child = OptimizeGroup(expr.children[0], child_req, depth + 1);
@@ -1140,21 +1258,20 @@ class MemoOptimizer {
     const double est_rows = group.est.rows;
     const double tru_rows = group.tru.rows;
 
+    Symbol left_key_sym = SymOf(expr.left_key_sym, expr.left_key);
+    Symbol right_key_sym = SymOf(expr.right_key_sym, expr.right_key);
+
     // Hash join: shuffle both sides on the join keys.
     auto shuffled_join = [&](PhysOpKind kind, int impl_rule) {
       if (!config_.IsEnabled(impl_rule)) return;
-      PhysProp want = PhysProp::Hash(expr.left_key);
-      if (required.kind == PhysProp::Kind::kHash &&
-          !required.SatisfiedBy(want) &&
-          required.kind != PhysProp::Kind::kAny) {
-        // Delivered hash(left_key) might not match; enforcer path covers it.
-      }
-      Winner l = OptimizeGroup(expr.children[0], PhysProp::Hash(expr.left_key),
+      Winner l = OptimizeGroup(expr.children[0],
+                               PhysProp::Hash(expr.left_key, left_key_sym),
                                depth + 1);
       Winner r = OptimizeGroup(expr.children[1],
-                               PhysProp::Hash(expr.right_key), depth + 1);
+                               PhysProp::Hash(expr.right_key, right_key_sym),
+                               depth + 1);
       if (!l.feasible || !r.feasible) return;
-      PhysProp delivered = PhysProp::Hash(expr.left_key);
+      PhysProp delivered = PhysProp::Hash(expr.left_key, left_key_sym);
       if (!required.SatisfiedBy(delivered)) return;
       Winner w;
       w.feasible = true;
@@ -1237,10 +1354,15 @@ class MemoOptimizer {
     }
 
     const bool global = expr.group_by.empty();
-    PhysProp agg_req =
-        global ? PhysProp::Singleton() : PhysProp::Hash(expr.group_by[0]);
-    PhysProp delivered =
-        global ? PhysProp::Singleton() : PhysProp::Hash(expr.group_by[0]);
+    Symbol key_sym =
+        global ? kSymEmpty
+               : (expr.group_by_syms.size() == expr.group_by.size()
+                      ? expr.group_by_syms[0]
+                      : Sym(expr.group_by[0]));
+    PhysProp agg_req = global ? PhysProp::Singleton()
+                              : PhysProp::Hash(expr.group_by[0], key_sym);
+    PhysProp delivered = global ? PhysProp::Singleton()
+                                : PhysProp::Hash(expr.group_by[0], key_sym);
 
     // Single-phase hash aggregation: shuffle raw rows to the group keys.
     if (config_.IsEnabled(rules::kHashAggImpl) &&
@@ -1287,10 +1409,11 @@ class MemoOptimizer {
                                    depth + 1);
       if (!child.feasible) return;
       int child_parts = scratch_.node(child.phys).partitions;
+      std::vector<Symbol> group_syms = expr.GroupBySymsResolved();
       RelStats partial_est = est_.PartialAggregate(
-          groups_[expr.children[0]].est, expr.group_by, child_parts);
+          groups_[expr.children[0]].est, group_syms, child_parts);
       RelStats partial_tru = tru_.PartialAggregate(
-          groups_[expr.children[0]].tru, expr.group_by, child_parts);
+          groups_[expr.children[0]].tru, group_syms, child_parts);
       BitVector256 rules_used = child.rules | expr.derivation;
       rules_used.Set(rules::kTwoPhaseAggregation);
       rules_used.Set(rules::kHashAggImpl);
@@ -1298,7 +1421,7 @@ class MemoOptimizer {
                                  {child.phys}, partial_est.rows,
                                  partial_tru.rows, child_parts, schema);
       PhysProp move_prop = global ? PhysProp::Singleton()
-                                  : PhysProp::Hash(expr.group_by[0]);
+                                  : PhysProp::Hash(expr.group_by[0], key_sym);
       int exchange = MakeExchange(partial, move_prop, gid, &rules_used);
       if (exchange < 0) return;
       int final_parts = scratch_.node(exchange).partitions;
@@ -1327,7 +1450,9 @@ class MemoOptimizer {
     std::function<int(int)> copy = [&](int id) -> int {
       auto it = remap.find(id);
       if (it != remap.end()) return it->second;
-      PhysicalNode node = scratch_.node(id);
+      // Steal, don't copy: remap guarantees one visit per scratch node, and
+      // the scratch arena dies with this MemoOptimizer.
+      PhysicalNode node = std::move(scratch_.node(id));
       std::vector<int> new_children;
       for (int c : node.children) new_children.push_back(copy(c));
       node.children = std::move(new_children);
@@ -1342,13 +1467,16 @@ class MemoOptimizer {
 
   const scope::Catalog& catalog_;
   OptimizerOptions options_;
-  const RuleConfig& config_;
+  RuleConfig config_;
   StatsDeriver est_;
   StatsDeriver tru_;
   CostModel cost_model_;
-  std::vector<Group> groups_;
+  /// deque: MakeGroup during exploration never moves existing groups, so
+  /// Group/Schema references held across recursive OptimizeGroup calls stay
+  /// valid (a growing vector would invalidate them mid-implementation).
+  std::deque<Group> groups_;
   PhysicalPlan scratch_;
-  std::unordered_map<std::string, Schema> scan_schema_;
+  std::unordered_map<Symbol, Schema> scan_schema_;
 };
 
 }  // namespace
@@ -1358,9 +1486,22 @@ Optimizer::Optimizer(const scope::Catalog& catalog, OptimizerOptions options)
 
 Result<CompilationOutput> Optimizer::Optimize(const scope::LogicalPlan& plan,
                                               const RuleConfig& config) const {
+  return OptimizeTracked(plan, config, nullptr, nullptr, nullptr);
+}
+
+Result<CompilationOutput> Optimizer::OptimizeTracked(
+    const scope::LogicalPlan& plan, const RuleConfig& config,
+    BitVector256* norm_consulted, BitVector256* post_consulted,
+    std::shared_ptr<const NormalizedPlan>* normalized_out) const {
   MemoOptimizer memo(catalog_, options_, config);
-  memo.RegisterScanSchemas(plan);
-  return memo.Run(plan);
+  return memo.Run(plan, norm_consulted, post_consulted, normalized_out);
+}
+
+Result<CompilationOutput> Optimizer::OptimizeFromNormalized(
+    const NormalizedPlan& normalized, const RuleConfig& config,
+    BitVector256* post_consulted) const {
+  MemoOptimizer memo(catalog_, options_, config);
+  return memo.RunPostNormalize(normalized, post_consulted);
 }
 
 }  // namespace qo::opt

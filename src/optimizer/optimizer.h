@@ -17,6 +17,8 @@
 #ifndef QO_OPTIMIZER_OPTIMIZER_H_
 #define QO_OPTIMIZER_OPTIMIZER_H_
 
+#include <memory>
+
 #include "common/status.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/physical_plan.h"
@@ -40,6 +42,14 @@ struct OptimizerOptions {
   CostParams cost_params;
 };
 
+/// A validated + normalized logical plan, exported by OptimizeTracked so the
+/// cross-config memo can restart other configs after the rewrite phase.
+/// Opaque to callers; only meaningful back in OptimizeFromNormalized.
+struct NormalizedPlan {
+  scope::LogicalPlan plan;
+  BitVector256 fired;  ///< normalization rules that changed the plan
+};
+
 /// Compiles logical plans into distributed physical plans under a given rule
 /// configuration.
 class Optimizer {
@@ -53,6 +63,26 @@ class Optimizer {
   /// operator).
   Result<CompilationOutput> Optimize(const scope::LogicalPlan& plan,
                                      const RuleConfig& config) const;
+
+  /// Optimize with cross-config memo instrumentation. Every rule bit the
+  /// validate+normalize phase consults is recorded into `norm_consulted`,
+  /// every bit the post-normalization search consults into `post_consulted`
+  /// (either may be null), and on success `normalized_out` (if non-null)
+  /// receives the normalized plan for reuse via OptimizeFromNormalized.
+  /// The compilation output is a pure function of (plan, catalog, options,
+  /// values of the consulted bits), which is the memo's soundness argument.
+  Result<CompilationOutput> OptimizeTracked(
+      const scope::LogicalPlan& plan, const RuleConfig& config,
+      BitVector256* norm_consulted, BitVector256* post_consulted,
+      std::shared_ptr<const NormalizedPlan>* normalized_out) const;
+
+  /// Re-runs only the post-normalization search over a previously exported
+  /// NormalizedPlan, recording consulted bits into `post_consulted` (may be
+  /// null). Only valid for configs that agree with the exporting config on
+  /// every bit it consulted during validate+normalize.
+  Result<CompilationOutput> OptimizeFromNormalized(
+      const NormalizedPlan& normalized, const RuleConfig& config,
+      BitVector256* post_consulted) const;
 
   const OptimizerOptions& options() const { return options_; }
 

@@ -82,7 +82,10 @@ struct PhysicalPlan {
   std::vector<PhysicalNode> nodes;
   std::vector<int> roots;
 
-  int AddNode(PhysicalNode node) {
+  /// Takes the node by rvalue: PhysicalNode is string/vector-heavy and
+  /// AddNode runs once per candidate the search ever considers, so the
+  /// by-value extra move was measurable.
+  int AddNode(PhysicalNode&& node) {
     node.id = static_cast<int>(nodes.size());
     nodes.push_back(std::move(node));
     return nodes.back().id;

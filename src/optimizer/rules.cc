@@ -168,6 +168,10 @@ std::vector<int> RuleConfig::DiffFromDefault() const {
 Status RuleConfig::Validate() const {
   const BitVector256& required =
       RuleRegistry::Get().CategoryMask(RuleCategory::kRequired);
+  // Validate reads every required bit at once; record them all as consulted
+  // so a memoized validation failure only replays for configs that disable
+  // the same required rules.
+  if (consulted_ != nullptr) *consulted_ |= required;
   if (!bits_.Contains(required)) {
     BitVector256 missing = required.AndNot(bits_);
     return Status::CompileError(

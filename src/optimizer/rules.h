@@ -127,10 +127,29 @@ class RuleConfig {
   /// Default configuration with one rule flipped. `rule_id` in [0, 256).
   static RuleConfig DefaultWithFlip(int rule_id);
 
-  bool IsEnabled(int rule_id) const { return bits_.Test(rule_id); }
+  /// Copies carry the rule bits but never the consulted sink: a tracked
+  /// config copied into another scope must not keep writing into a sink it
+  /// does not own (the sink may not outlive the copy).
+  RuleConfig(const RuleConfig& o) : bits_(o.bits_) {}
+  RuleConfig& operator=(const RuleConfig& o) {
+    bits_ = o.bits_;
+    consulted_ = nullptr;
+    return *this;
+  }
+
+  bool IsEnabled(int rule_id) const {
+    if (consulted_ != nullptr) consulted_->Set(rule_id);
+    return bits_.Test(rule_id);
+  }
   void Enable(int rule_id) { bits_.Set(rule_id); }
   void Disable(int rule_id) { bits_.Clear(rule_id); }
   void Flip(int rule_id) { bits_.Flip(rule_id); }
+
+  /// Routes every subsequent rule-bit probe into `sink` (or stops recording
+  /// when null). The consulted set is the compile's *footprint*: two configs
+  /// that agree on every consulted bit provably produce the same output,
+  /// which is what the cross-config memo keys on.
+  void TrackConsulted(BitVector256* sink) { consulted_ = sink; }
 
   const BitVector256& bits() const { return bits_; }
 
@@ -146,6 +165,8 @@ class RuleConfig {
  private:
   explicit RuleConfig(BitVector256 bits) : bits_(bits) {}
   BitVector256 bits_;
+  /// Not owned; never compared or copied *into* keys — excluded from ==.
+  BitVector256* consulted_ = nullptr;
 };
 
 }  // namespace qo::opt

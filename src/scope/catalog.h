@@ -6,6 +6,14 @@
 // outcomes. We model that by giving the optimizer access only to
 // `OptimizerStats` (stale / biased), while the execution simulator consumes
 // the ground-truth fields.
+//
+// Storage is interned: paths and column names are resolved to global
+// `Symbol` ids at registration, tables live in a dense vector indexed by an
+// id->slot array, and per-table column stats live in sym-sorted parallel
+// vectors. The compile hot path (`Lookup(Symbol)` / `LookupColumn(Symbol,
+// Symbol)`) therefore does integer array reads instead of
+// `unordered_map<std::string>` probes; the string overloads survive for
+// registration-time and diagnostic callers.
 #ifndef QO_SCOPE_CATALOG_H_
 #define QO_SCOPE_CATALOG_H_
 
@@ -15,6 +23,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/symbol_table.h"
 
 namespace qo::scope {
 
@@ -47,15 +56,23 @@ class Catalog {
   /// thread is calling RegisterTable (the runtime only reads catalogs).
   Result<const TableStats*> Lookup(const std::string& path) const;
 
+  /// Interned-id lookup: one bounds check + one array read.
+  Result<const TableStats*> Lookup(Symbol path) const;
+
   bool Has(const std::string& path) const {
-    return tables_.count(path) > 0;
+    return FindTable(Sym(path)) != nullptr;
   }
   size_t size() const { return tables_.size(); }
 
   /// Column stats for `path`.`column`; falls back to a default-constructed
-  /// ColumnStats when the column was never described.
-  ColumnStats LookupColumn(const std::string& path,
-                           const std::string& column) const;
+  /// ColumnStats when the column was never described. The reference stays
+  /// valid until the table is re-registered.
+  const ColumnStats& LookupColumn(const std::string& path,
+                                  const std::string& column) const;
+
+  /// Interned-id column lookup: dense-slot table read plus a search of the
+  /// table's sym-sorted column vector (integer compares only).
+  const ColumnStats& LookupColumn(Symbol path, Symbol column) const;
 
   /// Deterministic content hash over every registered table and column
   /// statistic (true + optimizer-visible). Two catalogs with identical
@@ -63,10 +80,26 @@ class Catalog {
   /// order — this keys the compilation caches (src/cache/), where any stats
   /// drift must invalidate by missing. O(1): maintained incrementally by
   /// RegisterTable, so the compile hot path pays nothing per lookup.
+  /// Hashes interned ids, not strings: valid within one process only.
   uint64_t StatsFingerprint() const;
 
  private:
-  std::unordered_map<std::string, TableStats> tables_;
+  struct InternedTable {
+    Symbol path = kNoSymbol;
+    uint64_t content_hash = 0;  ///< incremental fingerprint contribution
+    TableStats stats;           ///< registration payload (string-keyed map)
+    std::vector<Symbol> col_syms;         ///< sorted ascending
+    std::vector<ColumnStats> col_stats;   ///< parallel to col_syms
+  };
+
+  const InternedTable* FindTable(Symbol path) const {
+    if (path >= slot_by_sym_.size()) return nullptr;
+    int32_t slot = slot_by_sym_[path];
+    return slot < 0 ? nullptr : &tables_[static_cast<size_t>(slot)];
+  }
+
+  std::vector<InternedTable> tables_;   ///< dense, registration order
+  std::vector<int32_t> slot_by_sym_;    ///< symbol id -> slot in tables_, -1
   /// Commutative sum of per-table content hashes (see StatsFingerprint).
   uint64_t fingerprint_sum_ = 0;
 };

@@ -256,7 +256,11 @@ class Compiler {
 Result<LogicalPlan> CompileScript(const Script& script,
                                   const Catalog& catalog) {
   Compiler compiler(script, catalog);
-  return compiler.Compile();
+  auto plan = compiler.Compile();
+  // Intern once per compile so every downstream consumer (optimizer,
+  // cardinality, caches) works with integer ids.
+  if (plan.ok()) InternPlanSymbols(&plan.value());
+  return plan;
 }
 
 Result<LogicalPlan> CompileSource(const std::string& source,

@@ -24,6 +24,36 @@ const char* LogicalOpKindToString(LogicalOpKind k) {
   return "Unknown";
 }
 
+void InternSelectItem(SelectItem* item) {
+  item->column_sym = Sym(item->column);
+  item->alias_sym = Sym(item->alias);
+  // OutputName() is alias / "AGG_column" / column; precompute its id so the
+  // optimizer's name matching is a single integer compare.
+  item->out_sym =
+      item->alias.empty() && item->agg != AggFunc::kNone
+          ? Sym(item->OutputName())
+          : (item->alias.empty() ? item->column_sym : item->alias_sym);
+}
+
+void InternPlanSymbols(LogicalPlan* plan) {
+  if (plan->symbols_interned) return;
+  for (LogicalNode& n : plan->nodes) {
+    n.table_sym = Sym(n.table_path);
+    n.left_key_sym = Sym(n.left_key);
+    n.right_key_sym = Sym(n.right_key);
+    n.group_by_syms.clear();
+    n.group_by_syms.reserve(n.group_by.size());
+    for (const std::string& g : n.group_by) n.group_by_syms.push_back(Sym(g));
+    for (Column& c : n.schema.columns) c.sym = Sym(c.name);
+    for (Predicate& p : n.predicates) {
+      p.column_sym = Sym(p.column);
+      p.literal_sym = Sym(p.literal);
+    }
+    for (SelectItem& item : n.projections) InternSelectItem(&item);
+  }
+  plan->symbols_interned = true;
+}
+
 std::vector<int> LogicalPlan::FanOut() const {
   std::vector<int> fan(nodes.size(), 0);
   for (const auto& n : nodes) {

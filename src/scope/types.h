@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/symbol_table.h"
+
 namespace qo::scope {
 
 /// Column data types supported by the script language.
@@ -30,6 +32,9 @@ int ColumnTypeWidth(ColumnType t);
 struct Column {
   std::string name;
   ColumnType type = ColumnType::kString;
+  /// Interned id of `name`; filled by InternPlanSymbols (see logical_plan.h).
+  /// Excluded from equality: it is derived from `name`.
+  Symbol sym = kNoSymbol;
 
   bool operator==(const Column& o) const {
     return name == o.name && type == o.type;
@@ -49,6 +54,15 @@ struct Schema {
   bool HasColumn(const std::string& name) const {
     return FindColumn(name) >= 0;
   }
+  /// Interned-id variants: integer compares, no string traffic. Only valid
+  /// on schemas that went through InternPlanSymbols (col.sym filled).
+  int FindColumn(Symbol sym) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].sym == sym) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  bool HasColumn(Symbol sym) const { return FindColumn(sym) >= 0; }
   size_t size() const { return columns.size(); }
 
   /// Sum of per-column type widths: the average row length implied by types.

@@ -1,0 +1,26 @@
+#include "telemetry/optimizer_telemetry.h"
+
+#include <cstdio>
+
+namespace qo::telemetry {
+
+std::string OptimizerTelemetry::ToString() const {
+  if (!memo_enabled) {
+    char line[96];
+    std::snprintf(line, sizeof(line),
+                  "cross-config memo: disabled (symbols=%zu)\n",
+                  interned_symbols);
+    return line;
+  }
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "cross-config memo: full_hits=%llu norm_hits=%llu "
+                "misses=%llu hit_rate=%.1f%% symbols=%zu\n",
+                static_cast<unsigned long long>(memo_full_hits),
+                static_cast<unsigned long long>(memo_norm_hits),
+                static_cast<unsigned long long>(memo_misses),
+                100.0 * memo_hit_rate(), interned_symbols);
+  return line;
+}
+
+}  // namespace qo::telemetry

@@ -311,6 +311,15 @@ TEST(PipelineTest, MultiDayRunProducesConsistentReportsAndHints) {
   // The validation model must have trained within ten days.
   EXPECT_TRUE(pipeline.validation_model().trained());
   EXPECT_GE(pipeline.validation_samples().size(), 20u);
+  // The pipeline sweeps many rule configs per job (span probes, multi-flip,
+  // flighting); the per-job cross-config memo must have served a nonzero
+  // share of those optimizer runs from a previously compiled config.
+  telemetry::OptimizerTelemetry opt_telemetry =
+      env.engine().optimizer_telemetry();
+  if (opt_telemetry.memo_enabled) {
+    EXPECT_GT(opt_telemetry.memo_full_hits + opt_telemetry.memo_norm_hits, 0u);
+    EXPECT_GT(opt_telemetry.interned_symbols, 2u);
+  }
 }
 
 TEST(PipelineTest, PersonalizerMemoryBoundedAcrossDays) {

@@ -3,11 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/bitvector.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/symbol_table.h"
 #include "common/table_printer.h"
 
 namespace qo {
@@ -301,6 +305,84 @@ TEST(StatsTest, FractionHelpers) {
   EXPECT_DOUBLE_EQ(FractionBelow(xs, 0.0), 0.4);
   EXPECT_DOUBLE_EQ(FractionAbove(xs, 0.0), 0.4);
   EXPECT_DOUBLE_EQ(FractionBelow({}, 0.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// SymbolTable.
+// ---------------------------------------------------------------------------
+
+TEST(SymbolTableTest, InternIsIdempotentAndInjective) {
+  SymbolTable table;
+  Symbol a = table.Intern("fact");
+  Symbol b = table.Intern("dim");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("fact"), a);
+  EXPECT_EQ(table.Intern("dim"), b);
+  EXPECT_EQ(table.Resolve(a), "fact");
+  EXPECT_EQ(table.Resolve(b), "dim");
+}
+
+TEST(SymbolTableTest, WellKnownSymbolsArePreInterned) {
+  SymbolTable table;
+  EXPECT_EQ(table.Intern(""), kSymEmpty);
+  EXPECT_EQ(table.Intern("*"), kSymStar);
+  EXPECT_EQ(table.Resolve(kSymEmpty), "");
+  EXPECT_EQ(table.Resolve(kSymStar), "*");
+  EXPECT_EQ(table.size(), 2u);
+  // The process-wide table used by Sym()/SymName() agrees on the constants.
+  EXPECT_EQ(Sym(""), kSymEmpty);
+  EXPECT_EQ(Sym("*"), kSymStar);
+}
+
+TEST(SymbolTableTest, ResolveRoundTripsManySymbols) {
+  SymbolTable table;
+  std::vector<Symbol> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(table.Intern(std::string("col_") + std::to_string(i)));
+  }
+  EXPECT_EQ(table.size(), 1002u);  // 1000 + "" + "*"
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.Resolve(ids[i]), std::string("col_") + std::to_string(i));
+    EXPECT_EQ(table.Intern(std::string("col_") + std::to_string(i)), ids[i]);
+  }
+}
+
+TEST(SymbolTableTest, SymOfPrefersResolvedSymbol) {
+  // SymOf is the lazy-intern helper structures use for fields that may not
+  // have been interned yet (hand-built plans in tests).
+  Symbol a = Sym("already_interned");
+  EXPECT_EQ(SymOf(a, "ignored_text"), a);
+  EXPECT_EQ(SymOf(kNoSymbol, "already_interned"), a);
+}
+
+TEST(SymbolTableTest, ConcurrentInternsAgree) {
+  // Racing interns of the same strings must converge to one id per string
+  // (double-checked insert), and every returned id must resolve back.
+  SymbolTable table;
+  constexpr int kThreads = 8;
+  constexpr int kStrings = 200;
+  std::vector<std::string> names;
+  names.reserve(kStrings);
+  for (int i = 0; i < kStrings; ++i) {
+    std::string name = "s";
+    name += std::to_string(i);
+    names.push_back(name);
+  }
+  std::vector<std::vector<Symbol>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, &seen, &names, t] {
+      for (const std::string& name : names) {
+        seen[t].push_back(table.Intern(name));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  for (int i = 0; i < kStrings; ++i) {
+    EXPECT_EQ(table.Resolve(seen[0][i]), names[i]);
+  }
 }
 
 TEST(TablePrinterTest, FormatsAlignedTable) {

@@ -3,10 +3,16 @@
 // all 256 single-rule flips.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
 #include "optimizer/cardinality.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/rules.h"
+#include "runtime/runtime.h"
 #include "scope/compiler.h"
 
 namespace qo::opt {
@@ -165,7 +171,7 @@ TEST(CardinalityTest, AggregateGroupsCappedByRows) {
   RelStats in = est.Scan("t", CardSchema());
   RelStats agg = est.Aggregate(in, {"k"}, {});
   EXPECT_NEAR(agg.rows, 80.0, 1e-9);  // ndv(k)
-  RelStats global = est.Aggregate(in, {}, {});
+  RelStats global = est.Aggregate(in, std::vector<qo::Symbol>{}, {});
   EXPECT_DOUBLE_EQ(global.rows, 1.0);
 }
 
@@ -377,6 +383,101 @@ TEST(OptimizerPlanTest, DeterministicAcrossRepeatedCalls) {
   EXPECT_DOUBLE_EQ(a->est_cost, b->est_cost);
   EXPECT_EQ(a->signature, b->signature);
   EXPECT_EQ(a->plan.ToString(), b->plan.ToString());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-config memo golden: the memo is an invisible accelerator. Outputs
+// must be byte-identical with it on vs off, at any thread count.
+// ---------------------------------------------------------------------------
+
+workload::JobInstance MemoJob() {
+  workload::JobInstance job;
+  job.template_name = "memo_golden";
+  job.job_id = "memo_golden_0";
+  job.script = kPlanScript;
+  job.catalog = PlanCatalog();
+  return job;
+}
+
+std::vector<RuleConfig> MemoConfigs() {
+  std::vector<RuleConfig> configs;
+  configs.push_back(RuleConfig::Default());
+  // An unwired placeholder rule: never consulted, so the memo's full tier
+  // can serve this config from the default-config compile.
+  configs.push_back(RuleConfig::DefaultWithFlip(100));
+  // A consulted off-by-default exploration rule (post-normalization phase):
+  // eligible for the normalized tier, not the full tier.
+  configs.push_back(RuleConfig::DefaultWithFlip(rules::kEagerAggregationLeft));
+  // A consulted normalization rule: changes the normalized plan itself.
+  RuleConfig no_pushdown = RuleConfig::Default();
+  no_pushdown.Disable(rules::kFilterIntoScan);
+  configs.push_back(no_pushdown);
+  return configs;
+}
+
+std::string OutputKey(const CompilationOutput& out) {
+  char cost[64];
+  std::snprintf(cost, sizeof(cost), "%.17g", out.est_cost);
+  return out.plan.ToString() + "|" + cost + "|" + out.signature.ToString();
+}
+
+TEST(CrossConfigMemoTest, OutputsIdenticalWithMemoOnAndOff) {
+  workload::JobInstance job = MemoJob();
+  engine::ScopeEngine with_memo({}, {}, {}, {},
+                                opt::CrossConfigMemoOptions{.enabled = true});
+  engine::ScopeEngine without_memo(
+      {}, {}, {}, {}, opt::CrossConfigMemoOptions{.enabled = false});
+  ASSERT_TRUE(with_memo.cross_config_memo_enabled());
+  ASSERT_FALSE(without_memo.cross_config_memo_enabled());
+
+  for (const RuleConfig& config : MemoConfigs()) {
+    auto a = with_memo.Compile(job, config);
+    auto b = without_memo.Compile(job, config);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(OutputKey(*a), OutputKey(*b));
+  }
+
+  // The config sweep must actually have exercised the memo: config 100 is
+  // never consulted (full-tier hit) and the exploration flip reuses the
+  // normalized plan (normalized-tier hit).
+  telemetry::OptimizerTelemetry t = with_memo.optimizer_telemetry();
+  EXPECT_GT(t.memo_full_hits, 0u);
+  EXPECT_GT(t.memo_norm_hits, 0u);
+  EXPECT_GT(t.memo_misses, 0u);
+  EXPECT_EQ(without_memo.optimizer_telemetry().memo_lookups(), 0u);
+}
+
+TEST(CrossConfigMemoTest, ThreadCountDoesNotChangeOutputs) {
+  workload::JobInstance job = MemoJob();
+  std::vector<RuleConfig> configs = MemoConfigs();
+
+  // Reference: serial compile through a memo-enabled engine.
+  engine::ScopeEngine serial({}, {}, {}, {},
+                             opt::CrossConfigMemoOptions{.enabled = true});
+  std::vector<std::string> expected;
+  for (const RuleConfig& config : configs) {
+    auto out = serial.Compile(job, config);
+    ASSERT_TRUE(out.ok()) << out.status();
+    expected.push_back(OutputKey(*out));
+  }
+
+  // Same sweep fanned out over 4 worker threads, twice over so later
+  // iterations race against fully warmed memo tiers.
+  engine::ScopeEngine threaded({}, {}, {}, {},
+                               opt::CrossConfigMemoOptions{.enabled = true});
+  runtime::ParallelRuntime pool({.num_threads = 4});
+  std::vector<std::string> got = pool.TransformOrdered<std::string>(
+      configs.size() * 2, [](size_t i) { return i; },
+      [](size_t) { return 0.0; },
+      [&](size_t i) {
+        auto out = threaded.Compile(job, configs[i % configs.size()]);
+        return out.ok() ? OutputKey(*out) : out.status().ToString();
+      });
+  ASSERT_EQ(got.size(), expected.size() * 2);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i % expected.size()]) << "config " << i;
+  }
 }
 
 TEST(OptimizerPlanTest, TrueRowsUseAnnotationsNotEstimates) {
