@@ -4,11 +4,20 @@
 // recurring workload, then show the hints steering production jobs.
 //
 //   ./build/examples/daily_pipeline [days]
+//
+// Observability: every per-subsystem counter (cache, memo, exec profiles,
+// bandit, flighting, SIS) plus the phase timers surface through the metrics
+// registry, so the closing summary is one registry-wide report dump. Each
+// day also appends a JSONL run-report line to QO_OBS_REPORT (default:
+// daily_pipeline_report.jsonl), and QO_TRACE=<path> additionally writes a
+// Chrome-trace span dump loadable in Perfetto.
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/pipeline.h"
 #include "experiments/experiments.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 
 int main(int argc, char** argv) {
   using namespace qo;  // NOLINT
@@ -23,6 +32,15 @@ int main(int argc, char** argv) {
   config.recommender.uniform_probes_per_job = 3;
   config.personalizer.epsilon = 0.15;
   advisor::QoAdvisorPipeline pipeline(&env.engine(), &sis, config);
+
+  // Per-day JSONL sink: QO_OBS_REPORT when set, a local default otherwise.
+  std::unique_ptr<obs::RunReportWriter> report_writer =
+      obs::RunReportWriter::FromEnv();
+  if (report_writer == nullptr && obs::MetricsEnabled()) {
+    report_writer =
+        std::make_unique<obs::RunReportWriter>("daily_pipeline_report.jsonl");
+  }
+  const std::string report_label = obs::ObsLabelFromEnv("daily_pipeline");
 
   std::printf("%4s %6s %6s %9s %8s %8s %10s %6s\n", "day", "jobs", "spans",
               "forwarded", "flights", "validated", "hints(new)", "active");
@@ -40,6 +58,10 @@ int main(int argc, char** argv) {
                 report->recommender.forwarded, report->flights_success,
                 report->validated, report->hints_uploaded,
                 sis.active_hints());
+    if (report_writer != nullptr) {
+      report_writer->Append(obs::RunReportJsonLine(
+          report_label, day, obs::Registry::Get().Snapshot()));
+    }
   }
 
   std::printf("\nactive hints after %d days (SIS version %d):\n", days,
@@ -75,16 +97,14 @@ int main(int argc, char** argv) {
     std::printf("  (no hint matched on day %d — try more days)\n", days);
   }
 
-  // How much recompilation the two-level cache absorbed across the run, how
-  // many optimizer runs the cross-config memo served from prior configs of
-  // the same job, how many stage decompositions the prepared execution
-  // profiles amortized, and how the bandit's combined-feature cache /
-  // incremental retrainer fared.
-  std::printf("\n%s",
-              env.engine().compile_cache_telemetry().ToString().c_str());
-  std::printf("%s", env.engine().optimizer_telemetry().ToString().c_str());
-  std::printf("%s",
-              env.engine().exec_profile_telemetry().ToString().c_str());
-  std::printf("%s", pipeline.personalizer().telemetry().ToString().c_str());
+  // One registry-wide dump covers what used to be four hand-formatted
+  // per-subsystem printf blocks: cache/memo/exec-profile absorption, the
+  // bandit's combined-feature cache and retention health, flighting budget,
+  // SIS hint lifecycle, and the phase latency quantiles.
+  std::printf("\n%s", obs::RunReportText(obs::Registry::Get().Snapshot()).c_str());
+  if (report_writer != nullptr) {
+    std::printf("\nper-day run report appended to %s\n",
+                report_writer->path().c_str());
+  }
   return 0;
 }

@@ -13,6 +13,13 @@
 #     "micro_benchmarks": [<google-benchmark json entries>],
 #     "context": {<google-benchmark context: host, cpu, etc.>}
 #   }
+#
+# Each figure bench also runs with QO_OBS_REPORT pointed at a scratch file,
+# so its whole-process metrics snapshot (cache/memo hit rates, phase latency
+# quantiles, ...) lands as one JSONL line labeled with the bench name. The
+# concatenation is written next to OUTPUT_JSON as
+# <OUTPUT_JSON stem>.metrics.jsonl; scripts/bench_compare.py reads the
+# sibling and prints hit-rate/quantile drift (informational, not gated).
 set -euo pipefail
 
 BENCH_DIR="${1:-build/bench}"
@@ -30,15 +37,20 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 # --- Figure/table/ablation benches: record wall time + exit code. ---
 fig_json="$tmpdir/figures.json"
+metrics_jsonl="$tmpdir/metrics.jsonl"
 echo '{}' > "$fig_json"
+: > "$metrics_jsonl"
 for bin in "$BENCH_DIR"/*; do
   name="$(basename "$bin")"
   [[ -x "$bin" && -f "$bin" ]] || continue
   [[ "$name" == "micro_benchmarks" ]] && continue
   start_ns=$(date +%s%N)
   code=0
-  "$bin" > "$tmpdir/$name.out" 2>&1 || code=$?
+  QO_OBS_REPORT="$tmpdir/$name.metrics.jsonl" QO_OBS_LABEL="$name" \
+    "$bin" > "$tmpdir/$name.out" 2>&1 || code=$?
   end_ns=$(date +%s%N)
+  [[ -f "$tmpdir/$name.metrics.jsonl" ]] && \
+    cat "$tmpdir/$name.metrics.jsonl" >> "$metrics_jsonl"
   wall=$(jq -n "($end_ns - $start_ns) / 1e9")
   if [[ $code -ne 0 ]]; then
     echo "warning: $name exited with $code" >&2
@@ -69,6 +81,15 @@ jq -n \
     figure_benches: $figures[0],
     micro_benchmarks: $micro[0].benchmarks,
     context: $micro[0].context}' > "$OUTPUT"
+
+# --- Per-figure metrics snapshots (QO_METRICS=0 runs produce none). ---
+metrics_out="${OUTPUT%.json}.metrics.jsonl"
+if [[ -s "$metrics_jsonl" ]]; then
+  cp "$metrics_jsonl" "$metrics_out"
+  echo "wrote $metrics_out: $(wc -l < "$metrics_out") metrics snapshots"
+else
+  echo "note: no metrics snapshots captured (QO_METRICS=0?), skipping $metrics_out"
+fi
 
 count=$(jq '.figure_benches | length' "$OUTPUT")
 failures=$(jq '[.figure_benches[] | select(.exit_code != 0)] | length' "$OUTPUT")

@@ -9,6 +9,13 @@ Both files use the schema written by scripts/bench_baseline.sh:
   figure_benches:   {"<name>": {"wall_seconds": float, "exit_code": int}}
   micro_benchmarks: [google-benchmark JSON entries]
 
+When both sides have a <stem>.metrics.jsonl sibling (written by
+bench_baseline.sh from each bench's QO_OBS_REPORT snapshot), a drift report
+for cache/memo/reuse hit rates and span latency quantiles is printed after
+the wall-time table. Metrics drift is informational only — it never fails
+the gate (latency quantiles move with machine load; hit rates exist to
+explain wall-time movements, not to gate on their own).
+
 Rules:
   * A figure bench REGRESSES when its exit code turns nonzero, or its wall
     time exceeds baseline * (1 + tolerance).
@@ -59,6 +66,78 @@ def micro_by_name(data):
             continue
         out[entry["name"]] = entry
     return out
+
+
+def metrics_sibling(path):
+    stem = path[:-5] if path.endswith(".json") else path
+    return stem + ".metrics.jsonl"
+
+
+def load_metrics(path):
+    """Per-label metrics snapshots from a .metrics.jsonl sibling.
+
+    Each line is one {"label", "day", "series", "quantiles"} object written
+    by the obs run-report sink; the last line per label wins (the day:-1
+    whole-process snapshot is emitted last).
+    """
+    per_label = {}
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(obj, dict) and "label" in obj:
+                    per_label[obj["label"]] = obj
+    except OSError:
+        return None
+    return per_label
+
+
+# Series with these suffixes are ratios worth eyeballing across runs.
+RATE_SUFFIXES = ("hit_rate", "reuse_rate", "occupancy", "utilization")
+
+
+def print_metrics_drift(base_path, fresh_path):
+    """Informational hit-rate / span-quantile drift; never affects the gate."""
+    base = load_metrics(metrics_sibling(base_path))
+    fresh = load_metrics(metrics_sibling(fresh_path))
+    if not base or not fresh:
+        return
+    shared = sorted(set(base) & set(fresh))
+    if not shared:
+        return
+    print(f"\nmetrics drift (informational, {len(shared)} benches with "
+          f"snapshots on both sides):")
+    print(f"{'bench':36} {'metric':34} {'baseline':>12} {'fresh':>12}"
+          f"  delta")
+    for label in shared:
+        b, f = base[label], fresh[label]
+        b_series = b.get("series", {}) or {}
+        f_series = f.get("series", {}) or {}
+        for name in sorted(set(b_series) & set(f_series)):
+            if not name.endswith(RATE_SUFFIXES):
+                continue
+            bv, fv = float(b_series[name]), float(f_series[name])
+            if bv == 0.0 and fv == 0.0:
+                continue
+            print(f"{label:36} {name:34} {bv:12.4f} {fv:12.4f}"
+                  f"  {fv - bv:+8.4f}")
+        b_quant = b.get("quantiles", {}) or {}
+        f_quant = f.get("quantiles", {}) or {}
+        for name in sorted(set(b_quant) & set(f_quant)):
+            if not name.startswith("span."):
+                continue
+            bq, fq = b_quant[name], f_quant[name]
+            bv, fv = float(bq.get("p50_ns", 0)), float(fq.get("p50_ns", 0))
+            if bv <= 0:
+                continue
+            print(f"{label:36} {name + '.p50':34} {fmt_secs(bv * 1e-9):>12}"
+                  f" {fmt_secs(fv * 1e-9):>12}  {fv / bv - 1.0:+7.1%}")
 
 
 def fmt_secs(s):
@@ -166,6 +245,8 @@ def main():
         fresh_txt = fmt_secs(fresh_s) if fresh_s == fresh_s else "       -  "
         print(f"{kind:6} {name:44} {base_txt:>10} {fresh_txt:>10} "
               f"{delta:+7.1%}  {status}")
+
+    print_metrics_drift(args.baseline, args.fresh)
 
     if warnings:
         print(f"\n{len(warnings)} warning(s): benches present on one side "

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/span.h"
+
 namespace qo::bandit {
 
 std::vector<std::shared_ptr<const SparseVector>> CombineActionSet(
@@ -18,6 +20,7 @@ PersonalizerService::PersonalizerService(PersonalizerConfig config)
     : config_(config), model_(config.model), rng_(config.seed) {}
 
 Result<RankResponse> PersonalizerService::Rank(const RankRequest& request) {
+  QO_OBS_SPAN("rank");
   if (request.actions.empty()) {
     return Status::InvalidArgument("Rank requires at least one action");
   }
@@ -107,6 +110,7 @@ size_t PersonalizerService::BestAction(const LoggedEvent& ev,
 
 Status PersonalizerService::Reward(const std::string& event_id,
                                    double reward) {
+  QO_OBS_SPAN("reward");
   auto it = event_index_.find(event_id);
   if (it == event_index_.end()) {
     ++telemetry_.reward_failures;
@@ -131,6 +135,7 @@ Status PersonalizerService::Reward(const std::string& event_id,
 }
 
 void PersonalizerService::Retrain() {
+  QO_OBS_SPAN("retrain");
   if (!pending_.empty()) {
     model_.Train(pending_);
     telemetry_.examples_trained += pending_.size();

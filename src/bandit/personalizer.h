@@ -125,7 +125,14 @@ class PersonalizerService {
   size_t resident_events() const { return log_.size(); }
   size_t rewarded_events() const { return rewarded_; }
   const CbModel& model() const { return model_; }
-  const telemetry::BanditTelemetry& telemetry() const { return telemetry_; }
+  /// By value: the snapshot is the stored counters plus point-in-time
+  /// retention occupancy (resident_events / retention_window).
+  telemetry::BanditTelemetry telemetry() const {
+    telemetry::BanditTelemetry t = telemetry_;
+    t.resident_events = log_.size();
+    t.retention_window = config_.retention_window;
+    return t;
+  }
 
  private:
   struct LoggedEvent {

@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "obs/span.h"
+
 namespace qo::advisor {
 
 QoAdvisorPipeline::QoAdvisorPipeline(const engine::ScopeEngine* engine,
@@ -19,7 +21,33 @@ QoAdvisorPipeline::QoAdvisorPipeline(const engine::ScopeEngine* engine,
       personalizer_(config.personalizer),
       flighting_(engine, config.flighting, runtime_),
       recommender_(engine, &personalizer_, config.recommender),
-      validation_(config.validation) {}
+      validation_(config.validation) {
+  // One collector covers every surface the pipeline owns or borrows:
+  // Personalizer (bandit.*), flighting (flight.*), SIS hint lifecycle
+  // (sis.*) and the pipeline's own cumulative day counters (pipeline.*).
+  collector_id_ =
+      obs::Registry::Get().AddCollector([this](obs::SeriesSink& sink) {
+        telemetry::ExportSeries(personalizer_.telemetry(), sink);
+        telemetry::ExportSeries(flighting_.telemetry(), sink);
+        sink.Add("sis.version", static_cast<double>(sis_->current_version()));
+        sink.Add("sis.active_hints",
+                 static_cast<double>(sis_->active_hints()));
+        sink.Add("sis.hints_uploaded",
+                 static_cast<double>(sis_->total_hints_uploaded()));
+        sink.Add("sis.hints_reverted",
+                 static_cast<double>(sis_->hints_reverted()));
+        sink.Add("pipeline.days", static_cast<double>(cum_.days));
+        sink.Add("pipeline.flight_requests",
+                 static_cast<double>(cum_.flight_requests));
+        sink.Add("pipeline.validated", static_cast<double>(cum_.validated));
+        sink.Add("pipeline.hints_uploaded",
+                 static_cast<double>(cum_.hints_uploaded));
+      });
+}
+
+QoAdvisorPipeline::~QoAdvisorPipeline() {
+  obs::Registry::Get().RemoveCollector(collector_id_);
+}
 
 std::vector<Recommendation> QoAdvisorPipeline::PickRepresentatives(
     std::vector<Recommendation> recs) const {
@@ -36,6 +64,7 @@ std::vector<Recommendation> QoAdvisorPipeline::PickRepresentatives(
 
 Result<PipelineDayReport> QoAdvisorPipeline::RunDay(
     const telemetry::WorkloadView& view) {
+  QO_OBS_SPAN("run_day");
   PipelineDayReport report;
   report.day = view.day;
 
@@ -45,8 +74,10 @@ Result<PipelineDayReport> QoAdvisorPipeline::RunDay(
   for (const auto& row : view.rows) {
     if (!config_.recurring_only || row.recurring) filtered.rows.push_back(row);
   }
-  std::vector<JobFeatures> features =
-      GenerateFeatures(*engine_, filtered, &report.feature_gen, runtime_);
+  std::vector<JobFeatures> features = [&] {
+    QO_OBS_SPAN("feature_gen");
+    return GenerateFeatures(*engine_, filtered, &report.feature_gen, runtime_);
+  }();
 
   // --- Recommendation (CB + recompilation + pruning). ---
   std::vector<Recommendation> recs = recommender_.RecommendDay(
@@ -86,50 +117,59 @@ Result<PipelineDayReport> QoAdvisorPipeline::RunDay(
 
   // --- Validation: gather samples, retrain, accept/reject. ---
   std::vector<Recommendation> validated;
-  for (const flight::FlightResult& flight : flights) {
-    switch (flight.outcome) {
-      case flight::FlightOutcome::kSuccess:
-        ++report.flights_success;
-        break;
-      case flight::FlightOutcome::kFailure:
-        ++report.flights_failure;
-        continue;
-      case flight::FlightOutcome::kTimeout:
-        ++report.flights_timeout;
-        continue;
-      case flight::FlightOutcome::kFiltered:
-        ++report.flights_filtered;
-        continue;
+  {
+    QO_OBS_SPAN("validate");
+    for (const flight::FlightResult& flight : flights) {
+      switch (flight.outcome) {
+        case flight::FlightOutcome::kSuccess:
+          ++report.flights_success;
+          break;
+        case flight::FlightOutcome::kFailure:
+          ++report.flights_failure;
+          continue;
+        case flight::FlightOutcome::kTimeout:
+          ++report.flights_timeout;
+          continue;
+        case flight::FlightOutcome::kFiltered:
+          ++report.flights_filtered;
+          continue;
+      }
+      const Recommendation* rec = find_rec(flight.job_id);
+      if (rec == nullptr) continue;
+      // The regression target is the PNhours delta of a *future* occurrence:
+      // emulate the next run of the recurring job with a fresh seed.
+      auto future = flighting_.FlightOne(
+          {rec->instance, opt::RuleConfig::Default(), rec->ToConfig(), 0.0},
+          static_cast<uint64_t>(view.day) * 104729 + validation_samples_.size());
+      if (future.ok() && future->outcome == flight::FlightOutcome::kSuccess) {
+        validation_samples_.push_back(
+            MakeSample(flight, future->pn_hours_delta));
+      }
+      if (!validation_.trained() &&
+          validation_samples_.size() >=
+              config_.validation.min_training_samples) {
+        validation_.Train(validation_samples_).ok();
+      }
+      if (validation_.Accept(flight)) {
+        validated.push_back(*rec);
+        ++report.validated;
+      }
     }
-    const Recommendation* rec = find_rec(flight.job_id);
-    if (rec == nullptr) continue;
-    // The regression target is the PNhours delta of a *future* occurrence:
-    // emulate the next run of the recurring job with a fresh seed.
-    auto future = flighting_.FlightOne(
-        {rec->instance, opt::RuleConfig::Default(), rec->ToConfig(), 0.0},
-        static_cast<uint64_t>(view.day) * 104729 + validation_samples_.size());
-    if (future.ok() && future->outcome == flight::FlightOutcome::kSuccess) {
-      validation_samples_.push_back(
-          MakeSample(flight, future->pn_hours_delta));
-    }
-    if (!validation_.trained() &&
-        validation_samples_.size() >=
-            config_.validation.min_training_samples) {
-      validation_.Train(validation_samples_).ok();
-    }
-    if (validation_.Accept(flight)) {
-      validated.push_back(*rec);
-      ++report.validated;
-    }
+    report.validation_model_trained = validation_.trained();
   }
-  report.validation_model_trained = validation_.trained();
 
   // --- Hint Generation + SIS upload. ---
   if (!validated.empty()) {
+    QO_OBS_SPAN("hint_gen");
     sis::HintFile file = BuildHintFile(validated, view.day);
     auto version = sis_->UploadHintFile(file);
     if (version.ok()) report.hints_uploaded = file.entries.size();
   }
+
+  ++cum_.days;
+  cum_.flight_requests += report.flight_requests;
+  cum_.validated += report.validated;
+  cum_.hints_uploaded += report.hints_uploaded;
   return report;
 }
 

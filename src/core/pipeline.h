@@ -71,6 +71,10 @@ class QoAdvisorPipeline {
   QoAdvisorPipeline(const engine::ScopeEngine* engine,
                     sis::StatsInsightService* sis, PipelineConfig config = {},
                     runtime::ParallelRuntime* runtime = nullptr);
+  /// Deregisters the pipeline's registry collector.
+  ~QoAdvisorPipeline();
+  QoAdvisorPipeline(const QoAdvisorPipeline&) = delete;
+  QoAdvisorPipeline& operator=(const QoAdvisorPipeline&) = delete;
 
   /// Runs the full pipeline over one day's denormalized view.
   Result<PipelineDayReport> RunDay(const telemetry::WorkloadView& view);
@@ -101,6 +105,16 @@ class QoAdvisorPipeline {
   Recommender recommender_;
   ValidationModel validation_;
   std::vector<ValidationSample> validation_samples_;
+  /// Cumulative across RunDay calls, exported as "pipeline.*" series by the
+  /// registry collector below (the bandit/flighting/SIS surfaces ride along
+  /// in the same callback).
+  struct Cumulative {
+    uint64_t days = 0;
+    uint64_t flight_requests = 0;
+    uint64_t validated = 0;
+    uint64_t hints_uploaded = 0;
+  } cum_;
+  int collector_id_ = -1;
 };
 
 }  // namespace qo::advisor

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/span.h"
 #include "runtime/runtime.h"
 
 namespace qo::advisor {
@@ -134,6 +135,7 @@ Recommendation Recommender::EvaluateFlip(const JobFeatures& job,
 std::vector<Recommendation> Recommender::RecommendDay(
     const std::vector<JobFeatures>& jobs, int day, RecommenderStats* stats,
     runtime::ParallelRuntime* runtime) {
+  QO_OBS_SPAN("recommend");
   // Recompilation is the expensive half of this task; the bandit math is
   // cheap but stateful (Rank/Reward mutate the Personalizer, and a retrain
   // between two jobs changes every later choice). So: pre-evaluate every

@@ -2,13 +2,34 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <string>
 #include <utility>
 
 #include "cache/fingerprint.h"
 #include "common/symbol_table.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 #include "scope/compiler.h"
 
 namespace qo::engine {
+
+namespace {
+
+// Phase histograms for the manually timed wrappers (CompileShared/Execute
+// need the measured duration twice — phase + per-template — so they read the
+// clock themselves instead of using QO_OBS_SPAN).
+obs::Histogram& CompileSpanHist() {
+  static obs::Histogram* h = &obs::Registry::Get().histogram("span.compile");
+  return *h;
+}
+
+obs::Histogram& ExecuteSpanHist() {
+  static obs::Histogram* h = &obs::Registry::Get().histogram("span.execute");
+  return *h;
+}
+
+}  // namespace
 
 ExecOptions ExecOptions::FromEnv() {
   ExecOptions options;
@@ -33,6 +54,19 @@ ScopeEngine::ScopeEngine(opt::OptimizerOptions optimizer_options,
   if (cache_options.enabled) {
     cache_ = std::make_unique<cache::CompilationCache>(cache_options);
   }
+  // Export the engine's three telemetry surfaces as registry series. The
+  // callback only reads counters and writes to the sink — it never calls
+  // back into the registry (whose lock is held during Snapshot()).
+  collector_id_ =
+      obs::Registry::Get().AddCollector([this](obs::SeriesSink& sink) {
+        telemetry::ExportSeries(compile_cache_telemetry(), sink);
+        telemetry::ExportSeries(optimizer_telemetry(), sink);
+        telemetry::ExportSeries(exec_profile_telemetry(), sink);
+      });
+}
+
+ScopeEngine::~ScopeEngine() {
+  obs::Registry::Get().RemoveCollector(collector_id_);
 }
 
 cache::FrontEndKey ScopeEngine::FrontEndKeyOf(
@@ -47,6 +81,7 @@ cache::FrontEndKey ScopeEngine::FrontEndKeyOf(
 Result<opt::CompilationOutput> ScopeEngine::Optimize(
     const scope::LogicalPlan& logical, const workload::JobInstance& job,
     const opt::RuleConfig& config) const {
+  QO_OBS_SPAN("optimize");
   opt::Optimizer optimizer(job.catalog, optimizer_options_);
   return optimizer.Optimize(logical, config);
 }
@@ -55,6 +90,7 @@ Result<std::shared_ptr<const opt::CompilationOutput>>
 ScopeEngine::OptimizeWithMemo(const cache::CachedFrontEnd& fe,
                               const workload::JobInstance& job,
                               const opt::RuleConfig& config) const {
+  QO_OBS_SPAN("optimize");
   opt::CrossConfigMemo& memo = fe.cross_config_memo;
 
   // Full-tier probe: some earlier compile consulted only bits this config
@@ -112,12 +148,14 @@ ScopeEngine::OptimizeWithMemo(const cache::CachedFrontEnd& fe,
 Result<std::shared_ptr<const scope::LogicalPlan>> ScopeEngine::CompileFrontEnd(
     const workload::JobInstance& job) const {
   if (cache_ == nullptr) {
+    QO_OBS_SPAN("parse");
     QO_ASSIGN_OR_RETURN(scope::LogicalPlan logical,
                         scope::CompileSource(job.script, job.catalog));
     return std::shared_ptr<const scope::LogicalPlan>(
         std::make_shared<scope::LogicalPlan>(std::move(logical)));
   }
   cache::FrontEndPtr entry = cache_->GetOrParse(FrontEndKeyOf(job), [&] {
+    QO_OBS_SPAN("parse");
     return scope::CompileSource(job.script, job.catalog);
   });
   if (!entry->status.ok()) return entry->status;
@@ -128,11 +166,32 @@ Result<std::shared_ptr<const scope::LogicalPlan>> ScopeEngine::CompileFrontEnd(
 Result<std::shared_ptr<const opt::CompilationOutput>>
 ScopeEngine::CompileShared(const workload::JobInstance& job,
                            const opt::RuleConfig& config) const {
+  if (!obs::MetricsEnabled()) return CompileSharedImpl(job, config);
+  const uint64_t start_ns = obs::MonotonicNowNs();
+  auto result = CompileSharedImpl(job, config);
+  const uint64_t end_ns = obs::MonotonicNowNs();
+  const uint64_t dur = end_ns >= start_ns ? end_ns - start_ns : 0;
+  CompileSpanHist().Record(dur);
+  if (job.recurring) {
+    if (obs::Histogram* tpl = TemplateHistsFor(job).compile_ns) {
+      tpl->Record(dur);
+    }
+  }
+  if (obs::TraceEnabled()) obs::TraceRecordSpan("compile", start_ns, end_ns);
+  return result;
+}
+
+Result<std::shared_ptr<const opt::CompilationOutput>>
+ScopeEngine::CompileSharedImpl(const workload::JobInstance& job,
+                               const opt::RuleConfig& config) const {
   if (cache_ == nullptr) {
-    QO_ASSIGN_OR_RETURN(scope::LogicalPlan logical,
-                        scope::CompileSource(job.script, job.catalog));
+    Result<scope::LogicalPlan> logical = [&] {
+      QO_OBS_SPAN("parse");
+      return scope::CompileSource(job.script, job.catalog);
+    }();
+    if (!logical.ok()) return logical.status();
     QO_ASSIGN_OR_RETURN(opt::CompilationOutput output,
-                        Optimize(logical, job, config));
+                        Optimize(*logical, job, config));
     return std::shared_ptr<const opt::CompilationOutput>(
         std::make_shared<opt::CompilationOutput>(std::move(output)));
   }
@@ -146,6 +205,7 @@ ScopeEngine::CompileShared(const workload::JobInstance& job,
         // front-end entry's cross-config memo lets configs that only differ
         // in unconsulted rule bits skip the optimizer too.
         cache::FrontEndPtr fe = cache_->GetOrParse(key.front_end, [&] {
+          QO_OBS_SPAN("parse");
           return scope::CompileSource(job.script, job.catalog);
         });
         if (!fe->status.ok()) return fe->status;
@@ -166,9 +226,12 @@ Result<opt::CompilationOutput> ScopeEngine::Compile(
   if (cache_ == nullptr) {
     // No cache to share with: compile straight into the caller's value,
     // skipping the shared_ptr wrap + deep copy of the cached path.
-    QO_ASSIGN_OR_RETURN(scope::LogicalPlan logical,
-                        scope::CompileSource(job.script, job.catalog));
-    return Optimize(logical, job, config);
+    Result<scope::LogicalPlan> logical = [&] {
+      QO_OBS_SPAN("parse");
+      return scope::CompileSource(job.script, job.catalog);
+    }();
+    if (!logical.ok()) return logical.status();
+    return Optimize(*logical, job, config);
   }
   QO_ASSIGN_OR_RETURN(std::shared_ptr<const opt::CompilationOutput> shared,
                       CompileShared(job, config));
@@ -200,6 +263,22 @@ exec::JobMetrics ScopeEngine::Execute(const workload::JobInstance& job,
 exec::JobMetrics ScopeEngine::Execute(const workload::JobInstance& job,
                                       const opt::CompilationOutput& compilation,
                                       uint64_t run_salt) const {
+  if (!obs::MetricsEnabled()) return ExecuteImpl(job, compilation, run_salt);
+  const uint64_t start_ns = obs::MonotonicNowNs();
+  exec::JobMetrics metrics = ExecuteImpl(job, compilation, run_salt);
+  const uint64_t end_ns = obs::MonotonicNowNs();
+  const uint64_t dur = end_ns >= start_ns ? end_ns - start_ns : 0;
+  ExecuteSpanHist().Record(dur);
+  if (job.recurring) {
+    if (obs::Histogram* tpl = TemplateHistsFor(job).exec_ns) tpl->Record(dur);
+  }
+  if (obs::TraceEnabled()) obs::TraceRecordSpan("execute", start_ns, end_ns);
+  return metrics;
+}
+
+exec::JobMetrics ScopeEngine::ExecuteImpl(
+    const workload::JobInstance& job, const opt::CompilationOutput& compilation,
+    uint64_t run_salt) const {
   if (!exec_options_.prepared) {
     return Execute(job, compilation.plan, run_salt);
   }
@@ -211,6 +290,9 @@ exec::JobMetrics ScopeEngine::Execute(const workload::JobInstance& job,
 std::vector<exec::JobMetrics> ScopeEngine::ExecuteRuns(
     const workload::JobInstance& job, const opt::CompilationOutput& compilation,
     uint64_t first_salt, int runs) const {
+  // Batch granularity on purpose: per-run clocking would dominate the
+  // ~300ns prepared-run path. Per-call latency lives under "span.execute".
+  QO_OBS_SPAN("exec.run_batch");
   std::vector<exec::JobMetrics> out;
   out.reserve(runs > 0 ? static_cast<size_t>(runs) : 0);
   if (!exec_options_.prepared) {
@@ -247,6 +329,7 @@ std::shared_ptr<const exec::ExecutionProfile> ScopeEngine::PrepareProfile(
     return existing;
   }
   profile_misses_.fetch_add(1, std::memory_order_relaxed);
+  QO_OBS_SPAN("exec.prepare");
   std::shared_ptr<const exec::ExecutionProfile> fresh =
       simulator_.PrepareShared(compilation.plan, job.catalog);
   std::shared_ptr<const exec::ExecutionProfile> winner =
@@ -255,6 +338,23 @@ std::shared_ptr<const exec::ExecutionProfile> ScopeEngine::PrepareProfile(
   // engines with different cluster configs (or executed against drifted
   // statistics); keep ours local then instead of clobbering the slot.
   return matches(*winner) ? winner : fresh;
+}
+
+ScopeEngine::TemplateHists ScopeEngine::TemplateHistsFor(
+    const workload::JobInstance& job) const {
+  {
+    std::shared_lock<std::shared_mutex> lock(tpl_mu_);
+    auto it = tpl_hists_.find(job.template_id);
+    if (it != tpl_hists_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(tpl_mu_);
+  auto [it, inserted] = tpl_hists_.try_emplace(job.template_id);
+  if (inserted) {
+    const std::string base = "tpl." + job.template_name;
+    it->second.compile_ns = &obs::Registry::Get().histogram(base + ".compile_ns");
+    it->second.exec_ns = &obs::Registry::Get().histogram(base + ".exec_ns");
+  }
+  return it->second;
 }
 
 telemetry::CompileCacheTelemetry ScopeEngine::compile_cache_telemetry() const {

@@ -15,12 +15,15 @@
 
 #include <atomic>
 #include <memory>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/compilation_cache.h"
 #include "common/status.h"
 #include "exec/cluster.h"
 #include "exec/metrics.h"
+#include "obs/metrics.h"
 #include "optimizer/cross_config_memo.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/rules.h"
@@ -68,6 +71,10 @@ class ScopeEngine {
       ExecOptions exec_options = ExecOptions::FromEnv(),
       opt::CrossConfigMemoOptions memo_options =
           opt::CrossConfigMemoOptions::FromEnv());
+  /// Deregisters the engine's registry collector.
+  ~ScopeEngine();
+  ScopeEngine(const ScopeEngine&) = delete;
+  ScopeEngine& operator=(const ScopeEngine&) = delete;
 
   /// Parses, compiles and optimizes the instance's script under `config`.
   /// CompileError on parse/semantic errors or infeasible configurations.
@@ -157,6 +164,27 @@ class ScopeEngine {
  private:
   /// The seed the simulator derives all of a run's stochastic draws from.
   static uint64_t RunSeed(const workload::JobInstance& job, uint64_t run_salt);
+  /// Untimed bodies of CompileShared / Execute: the public entry points wrap
+  /// these with one shared timing read feeding both the phase histogram
+  /// ("span.compile" / "span.execute") and the job's per-template latency
+  /// histogram. Purely observational — results are byte-identical with
+  /// metrics on or off.
+  Result<std::shared_ptr<const opt::CompilationOutput>> CompileSharedImpl(
+      const workload::JobInstance& job, const opt::RuleConfig& config) const;
+  exec::JobMetrics ExecuteImpl(const workload::JobInstance& job,
+                               const opt::CompilationOutput& compilation,
+                               uint64_t run_salt) const;
+  /// Per-template latency histograms ("tpl.<template_name>.compile_ns" /
+  /// ".exec_ns"), resolved once per template then served under a shared
+  /// lock. Recurring templates only: one-off jobs carry a unique day-scoped
+  /// template id each, so tracking them would grow the registry without
+  /// bound (they still land in the aggregate span.compile/span.execute
+  /// histograms).
+  struct TemplateHists {
+    obs::Histogram* compile_ns = nullptr;
+    obs::Histogram* exec_ns = nullptr;
+  };
+  TemplateHists TemplateHistsFor(const workload::JobInstance& job) const;
   /// The uncached compile path (also the cache's miss handler when the
   /// cross-config memo is off).
   Result<opt::CompilationOutput> Optimize(const scope::LogicalPlan& logical,
@@ -187,6 +215,12 @@ class ScopeEngine {
   mutable std::atomic<uint64_t> memo_full_hits_{0};
   mutable std::atomic<uint64_t> memo_norm_hits_{0};
   mutable std::atomic<uint64_t> memo_misses_{0};
+  /// template_id -> latency histograms (read-mostly: shared lock on hit).
+  mutable std::shared_mutex tpl_mu_;
+  mutable std::unordered_map<int, TemplateHists> tpl_hists_;
+  /// Registry collector exporting the cache/optimizer/exec telemetry
+  /// surfaces as series (removed in the destructor).
+  int collector_id_ = -1;
 };
 
 }  // namespace qo::engine

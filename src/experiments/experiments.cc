@@ -6,6 +6,8 @@
 
 #include "core/feature_gen.h"
 #include "core/recommend.h"
+#include "obs/report.h"
+#include "obs/span.h"
 
 namespace qo::experiments {
 
@@ -109,8 +111,23 @@ ExperimentEnv::ExperimentEnv(ExperimentConfig config)
       engine_({}, {}, HarnessCacheOptions(config), HarnessExecOptions(config)),
       runtime_(HarnessRuntimeOptions(config)) {}
 
+ExperimentEnv::~ExperimentEnv() {
+  // Emitted here rather than at process exit: the engine's collector is
+  // still registered, so the line carries every series.
+  EmitRunReport(-1);
+}
+
+bool ExperimentEnv::EmitRunReport(int day) const {
+  std::unique_ptr<obs::RunReportWriter> writer = obs::RunReportWriter::FromEnv();
+  if (writer == nullptr) return false;
+  return writer->Append(obs::RunReportJsonLine(
+      obs::ObsLabelFromEnv("experiment_env"), day,
+      obs::Registry::Get().Snapshot()));
+}
+
 telemetry::WorkloadView ExperimentEnv::BuildDayView(
     int day, const sis::StatsInsightService* sis) const {
+  QO_OBS_SPAN("build_day_view");
   telemetry::WorkloadView view;
   view.day = day;
   const std::vector<workload::JobInstance> jobs = driver_.DayJobs(day);

@@ -45,6 +45,17 @@ struct ExperimentConfig {
 class ExperimentEnv {
  public:
   explicit ExperimentEnv(ExperimentConfig config = {});
+  /// Emits a whole-process run-report line (day -1) to QO_OBS_REPORT when
+  /// that knob is set — this is how each bench binary leaves its metrics
+  /// snapshot next to its figure output.
+  ~ExperimentEnv();
+  ExperimentEnv(const ExperimentEnv&) = delete;
+  ExperimentEnv& operator=(const ExperimentEnv&) = delete;
+
+  /// Appends one run-report line for `day` (or the whole process when
+  /// day < 0) to QO_OBS_REPORT. No-op (returning false) when the knob is
+  /// unset or metrics are disabled.
+  bool EmitRunReport(int day) const;
 
   const ExperimentConfig& config() const { return config_; }
   const engine::ScopeEngine& engine() const { return engine_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/span.h"
+
 namespace qo::flight {
 
 namespace {
@@ -47,6 +49,7 @@ FlightingService::FlightingService(const engine::ScopeEngine* engine,
 
 FlightResult FlightingService::RunFlight(const FlightRequest& request,
                                          uint64_t run_salt) const {
+  QO_OBS_SPAN("flight");
   FlightResult result;
   result.job_id = request.job.job_id;
 
@@ -107,6 +110,7 @@ Result<FlightResult> FlightingService::FlightOne(const FlightRequest& request,
     return Status::ResourceExhausted("flighting budget exhausted");
   }
   FlightResult result = RunFlight(request, run_salt);
+  CountOutcome(result.outcome);
   if (result.outcome == FlightOutcome::kFailure ||
       result.outcome == FlightOutcome::kFiltered) {
     return result;  // no machine time consumed
@@ -119,6 +123,7 @@ Result<FlightResult> FlightingService::FlightOne(const FlightRequest& request,
 
 std::vector<FlightResult> FlightingService::FlightBatch(
     std::vector<FlightRequest> requests, uint64_t run_salt) {
+  ++batches_;
   // Fixed-size queue: excess requests are dropped up front.
   if (requests.size() > config_.queue_capacity) {
     requests.resize(config_.queue_capacity);
@@ -160,17 +165,21 @@ std::vector<FlightResult> FlightingService::FlightBatch(
     if (gate_.Exhausted()) {
       if (p.ran) gate_.Refund(p.result.machine_hours);
       results.push_back(TimedOut(requests[i].job.job_id));
+      CountOutcome(FlightOutcome::kTimeout);
       return;
     }
     if (!p.ran) {  // environmental failure or filtered: refunded up front
+      CountOutcome(p.result.outcome);
       results.push_back(std::move(p.result));
       return;
     }
     if (!gate_.CommitReserved(p.result.machine_hours)) {
       // Admitting this flight would overspend the budget.
       results.push_back(TimedOut(requests[i].job.job_id));
+      CountOutcome(FlightOutcome::kTimeout);
       return;
     }
+    CountOutcome(p.result.outcome);
     results.push_back(std::move(p.result));
   };
 
@@ -198,7 +207,38 @@ Result<std::vector<exec::JobMetrics>> FlightingService::RunAA(
   std::vector<exec::JobMetrics> metrics =
       engine_->ExecuteRuns(job, *compiled, run_salt * 1000, runs);
   for (const exec::JobMetrics& m : metrics) gate_.Spend(m.pn_hours);
+  aa_runs_ += metrics.size();
   return metrics;
+}
+
+void FlightingService::CountOutcome(FlightOutcome outcome) {
+  switch (outcome) {
+    case FlightOutcome::kSuccess:
+      ++flights_success_;
+      break;
+    case FlightOutcome::kFailure:
+      ++flights_failure_;
+      break;
+    case FlightOutcome::kTimeout:
+      ++flights_timeout_;
+      break;
+    case FlightOutcome::kFiltered:
+      ++flights_filtered_;
+      break;
+  }
+}
+
+telemetry::FlightTelemetry FlightingService::telemetry() const {
+  telemetry::FlightTelemetry t;
+  t.flights_success = flights_success_;
+  t.flights_failure = flights_failure_;
+  t.flights_timeout = flights_timeout_;
+  t.flights_filtered = flights_filtered_;
+  t.batches = batches_;
+  t.aa_runs = aa_runs_;
+  t.budget_used_hours = gate_.committed();
+  t.budget_total_hours = config_.total_budget_machine_hours;
+  return t;
 }
 
 }  // namespace qo::flight

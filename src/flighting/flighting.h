@@ -28,6 +28,7 @@
 #include "optimizer/rules.h"
 #include "runtime/budget_gate.h"
 #include "runtime/runtime.h"
+#include "telemetry/flight_telemetry.h"
 #include "workload/template_gen.h"
 
 namespace qo::flight {
@@ -115,6 +116,11 @@ class FlightingService {
   const FlightingConfig& config() const { return config_; }
   const runtime::BudgetGate& budget_gate() const { return gate_; }
 
+  /// Snapshot of committed outcome counts and budget health. Counted at the
+  /// serial commit points (FlightOne / the batch commit / RunAA), so
+  /// speculative flights refunded by budget admission are not included.
+  telemetry::FlightTelemetry telemetry() const;
+
  private:
   /// The pure flight computation: environmental draws + both engine arms,
   /// no budget interaction. Thread-safety: const and deterministic per
@@ -122,10 +128,21 @@ class FlightingService {
   FlightResult RunFlight(const FlightRequest& request,
                          uint64_t run_salt) const;
 
+  /// Commit-side outcome bookkeeping (calling thread only).
+  void CountOutcome(FlightOutcome outcome);
+
   const engine::ScopeEngine* engine_;
   FlightingConfig config_;
   runtime::ParallelRuntime* runtime_;
   runtime::BudgetGate gate_;
+  // Mutated only on the service's calling thread (the batch commit runs
+  // there), so plain integers suffice.
+  uint64_t flights_success_ = 0;
+  uint64_t flights_failure_ = 0;
+  uint64_t flights_timeout_ = 0;
+  uint64_t flights_filtered_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t aa_runs_ = 0;
 };
 
 }  // namespace qo::flight

@@ -1,0 +1,220 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace qo::obs {
+
+namespace {
+
+bool MetricsEnabledFromEnv() {
+  const char* v = std::getenv("QO_METRICS");
+  return v == nullptr || std::strcmp(v, "0") != 0;
+}
+
+std::atomic<int>& MetricsOverride() {
+  static std::atomic<int> override_state{-1};
+  return override_state;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  const int forced = MetricsOverride().load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = MetricsEnabledFromEnv();
+  return from_env;
+}
+
+void SetMetricsEnabledForTest(int state) {
+  MetricsOverride().store(state, std::memory_order_relaxed);
+}
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace detail {
+
+unsigned ThreadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace detail
+
+// --- HistogramSnapshot ------------------------------------------------------
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (size_t i = 0; i < hist::kNumBuckets; ++i) counts[i] += other.counts[i];
+  total += other.total;
+  sum += other.sum;
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (total == 0) return 0;
+  double want = q * static_cast<double>(total);
+  uint64_t rank = static_cast<uint64_t>(want);
+  if (static_cast<double>(rank) < want) ++rank;  // ceil
+  rank = std::clamp<uint64_t>(rank, 1, total);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < hist::kNumBuckets; ++i) {
+    cum += counts[i];
+    if (cum >= rank) return hist::BucketUpperBound(i);
+  }
+  return hist::BucketUpperBound(hist::kNumBuckets - 1);
+}
+
+uint64_t HistogramSnapshot::MaxValue() const {
+  for (size_t i = hist::kNumBuckets; i > 0; --i) {
+    if (counts[i - 1] != 0) return hist::BucketUpperBound(i - 1);
+  }
+  return 0;
+}
+
+// --- Counter / Histogram ----------------------------------------------------
+
+uint64_t Counter::Value() const {
+  uint64_t sum = 0;
+  for (const Slot& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Counter::ResetForTest() {
+  for (Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (unsigned s = 0; s < kHistShards; ++s) snap.Merge(ShardSnapshot(s));
+  return snap;
+}
+
+HistogramSnapshot Histogram::ShardSnapshot(unsigned shard) const {
+  const Shard& s = shards_[shard % kHistShards];
+  HistogramSnapshot snap;
+  for (size_t i = 0; i < hist::kNumBuckets; ++i) {
+    const uint64_t c = s.buckets[i].load(std::memory_order_relaxed);
+    snap.counts[i] = c;
+    snap.total += c;
+  }
+  snap.sum = s.sum.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::ResetForTest() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- MetricsSnapshot --------------------------------------------------------
+
+double MetricsSnapshot::SeriesValue(std::string_view name,
+                                    double fallback) const {
+  auto it = std::lower_bound(
+      series.begin(), series.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (it != series.end() && it->first == name) return it->second;
+  return fallback;
+}
+
+bool MetricsSnapshot::HasSeries(std::string_view name) const {
+  auto it = std::lower_bound(
+      series.begin(), series.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  return it != series.end() && it->first == name;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  auto it = std::lower_bound(
+      histograms.begin(), histograms.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (it != histograms.end() && it->first == name) return &it->second;
+  return nullptr;
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Registry& Registry::Get() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_names_.find(name);
+  if (it != counter_names_.end()) return *it->second;
+  Counter& fresh = counters_.emplace_back();
+  counter_names_.emplace(std::string(name), &fresh);
+  return fresh;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauge_names_.find(name);
+  if (it != gauge_names_.end()) return *it->second;
+  Gauge& fresh = gauges_.emplace_back();
+  gauge_names_.emplace(std::string(name), &fresh);
+  return fresh;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histogram_names_.find(name);
+  if (it != histogram_names_.end()) return *it->second;
+  Histogram& fresh = histograms_.emplace_back();
+  histogram_names_.emplace(std::string(name), &fresh);
+  return fresh;
+}
+
+int Registry::AddCollector(std::function<void(SeriesSink&)> collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = next_collector_id_++;
+  collectors_.emplace(id, std::move(collector));
+  return id;
+}
+
+void Registry::RemoveCollector(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(id);
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> series;
+  for (const auto& [name, counter] : counter_names_) {
+    series[name] += static_cast<double>(counter->Value());
+  }
+  for (const auto& [name, gauge] : gauge_names_) {
+    series[name] += gauge->Value();
+  }
+  SeriesSink sink(&series);
+  for (const auto& [id, collector] : collectors_) collector(sink);
+
+  MetricsSnapshot snap;
+  snap.series.assign(series.begin(), series.end());
+  snap.histograms.reserve(histogram_names_.size());
+  for (const auto& [name, histogram] : histogram_names_) {
+    snap.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snap;
+}
+
+void Registry::ZeroAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter& c : counters_) c.ResetForTest();
+  for (Gauge& g : gauges_) g.ResetForTest();
+  for (Histogram& h : histograms_) h.ResetForTest();
+}
+
+}  // namespace qo::obs

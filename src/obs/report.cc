@@ -1,0 +1,162 @@
+#include "obs/report.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace qo::obs {
+
+namespace {
+
+/// Shortest-round-trip-ish number formatting: integers print as integers
+/// (series are mostly counters), everything else as %.10g.
+void AppendNumber(std::string* out, double v) {
+  char buf[48];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.007e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "null");  // JSON has no NaN/Inf
+  }
+  *out += buf;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendQuantiles(std::string* out, const HistogramSnapshot& h) {
+  *out += "{\"count\":";
+  AppendU64(out, h.total);
+  *out += ",\"sum_ns\":";
+  AppendU64(out, h.sum);
+  *out += ",\"p50_ns\":";
+  AppendU64(out, h.Quantile(0.50));
+  *out += ",\"p95_ns\":";
+  AppendU64(out, h.Quantile(0.95));
+  *out += ",\"p99_ns\":";
+  AppendU64(out, h.Quantile(0.99));
+  *out += ",\"max_ns\":";
+  AppendU64(out, h.MaxValue());
+  *out += "}";
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RunReportJsonLine(std::string_view label, int day,
+                              const MetricsSnapshot& snap) {
+  std::string out = "{\"label\":\"";
+  out += JsonEscape(label);
+  out += "\",\"day\":";
+  AppendNumber(&out, day);
+  out += ",\"series\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.series) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += JsonEscape(name);
+    out += "\":";
+    AppendNumber(&out, value);
+  }
+  out += "},\"quantiles\":{";
+  first = true;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (hist.total == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += JsonEscape(name);
+    out += "\":";
+    AppendQuantiles(&out, hist);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string RunReportText(const MetricsSnapshot& snap) {
+  std::string out = "run report:\n";
+  for (const auto& [name, value] : snap.series) {
+    char line[192];
+    if (value == std::floor(value) && std::fabs(value) < 9.007e15) {
+      std::snprintf(line, sizeof(line), "  %-40s %.0f\n", name.c_str(), value);
+    } else {
+      std::snprintf(line, sizeof(line), "  %-40s %.4g\n", name.c_str(), value);
+    }
+    out += line;
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    if (hist.total == 0) continue;
+    char line[224];
+    std::snprintf(line, sizeof(line),
+                  "  %-40s count=%" PRIu64 " p50=%" PRIu64 "ns p95=%" PRIu64
+                  "ns p99=%" PRIu64 "ns max=%" PRIu64 "ns\n",
+                  name.c_str(), hist.total, hist.Quantile(0.50),
+                  hist.Quantile(0.95), hist.Quantile(0.99), hist.MaxValue());
+    out += line;
+  }
+  return out;
+}
+
+std::unique_ptr<RunReportWriter> RunReportWriter::FromEnv() {
+  if (!MetricsEnabled()) return nullptr;
+  const char* path = std::getenv("QO_OBS_REPORT");
+  if (path == nullptr || path[0] == '\0') return nullptr;
+  return std::make_unique<RunReportWriter>(path);
+}
+
+bool RunReportWriter::Append(std::string_view line) const {
+  std::FILE* f = std::fopen(path_.c_str(), "a");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
+      std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  return ok;
+}
+
+std::string ObsLabelFromEnv(std::string_view fallback) {
+  const char* label = std::getenv("QO_OBS_LABEL");
+  if (label == nullptr || label[0] == '\0') return std::string(fallback);
+  return label;
+}
+
+}  // namespace qo::obs

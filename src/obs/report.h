@@ -1,0 +1,68 @@
+// Structured run reports over a MetricsSnapshot.
+//
+// The JSONL form is the machine-readable sink: one JSON object per line,
+//
+//   {"label": "daily_pipeline", "day": 3,
+//    "series":    {"cache.front_end.hits": 123, "bandit.ranks": 456, ...},
+//    "quantiles": {"span.compile": {"count": 99, "sum_ns": ...,
+//                  "p50_ns": ..., "p95_ns": ..., "p99_ns": ..., "max_ns": ...},
+//                  "tpl.T001.compile": {...}, ...}}
+//
+// appended to the path in QO_OBS_REPORT by the pipeline examples, the
+// experiment harness (one cumulative line per process at ExperimentEnv
+// destruction — how scripts/bench_baseline.sh captures a metrics snapshot
+// per figure bench), and CI.
+//
+// The text form replaces hand-formatted per-subsystem printf blocks: one
+// generic dump of every series and every non-empty quantile in the
+// registry.
+#ifndef QO_OBS_REPORT_H_
+#define QO_OBS_REPORT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace qo::obs {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonEscape(std::string_view s);
+
+/// One JSONL run-report line (no trailing newline). `day` < 0 means "whole
+/// process" and is emitted as -1. Histograms with zero recordings are
+/// skipped; series are emitted in sorted name order, so two snapshots with
+/// the same data always produce the same line.
+std::string RunReportJsonLine(std::string_view label, int day,
+                              const MetricsSnapshot& snap);
+
+/// Human-readable registry-wide dump: every series plus p50/p95/p99 for
+/// every non-empty histogram.
+std::string RunReportText(const MetricsSnapshot& snap);
+
+/// Append-only JSONL writer.
+class RunReportWriter {
+ public:
+  explicit RunReportWriter(std::string path) : path_(std::move(path)) {}
+
+  /// QO_OBS_REPORT-configured writer; null when the variable is unset/empty
+  /// or metrics are disabled.
+  static std::unique_ptr<RunReportWriter> FromEnv();
+
+  /// Appends `line` + '\n'. Returns false on I/O failure.
+  bool Append(std::string_view line) const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// QO_OBS_LABEL, or `fallback` when unset — lets scripts tag each process's
+/// report line (e.g. with the bench binary name).
+std::string ObsLabelFromEnv(std::string_view fallback);
+
+}  // namespace qo::obs
+
+#endif  // QO_OBS_REPORT_H_

@@ -1,0 +1,26 @@
+#include "obs/span.h"
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace qo::obs {
+
+Histogram& SpanSite::hist() {
+  Histogram* h = hist_.load(std::memory_order_acquire);
+  if (h == nullptr) {
+    h = &Registry::Get().histogram(std::string("span.") + name_);
+    hist_.store(h, std::memory_order_release);  // benign race: same pointer
+  }
+  return *h;
+}
+
+void ScopedSpan::Finish() {
+  const uint64_t end_ns = MonotonicNowNs();
+  site_->hist().Record(end_ns >= start_ns_ ? end_ns - start_ns_ : 0);
+  if (TraceEnabled()) {
+    TraceRecordSpan(site_->name(), start_ns_, end_ns);
+  }
+}
+
+}  // namespace qo::obs

@@ -1,0 +1,79 @@
+// Scoped phase timers: QO_OBS_SPAN("compile") at the top of a scope records
+// the scope's wall-clock into the registry histogram "span.compile" (and
+// into the Chrome trace when QO_TRACE is set).
+//
+//   void Optimize(...) {
+//     QO_OBS_SPAN("optimize");
+//     ...
+//   }
+//
+// Cost discipline: the macro materializes one function-local static
+// SpanSite (name + lazily resolved histogram pointer, resolved once per
+// site) and an RAII ScopedSpan. When metrics are off the constructor is a
+// single branch on a cached bool and the destructor does nothing — spans
+// compile down to a no-op dispatch check, never a lock or clock read.
+// Timing is purely observational: span durations never feed back into any
+// computation, so all outputs stay byte-identical with spans on or off.
+#ifndef QO_OBS_SPAN_H_
+#define QO_OBS_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace qo::obs {
+
+/// One instrumented call site: the span name (a string literal) plus the
+/// cached "span.<name>" histogram, resolved on first use. Safe to share
+/// across threads (the duplicate-resolve race stores the same pointer).
+class SpanSite {
+ public:
+  explicit constexpr SpanSite(const char* name) : name_(name) {}
+  SpanSite(const SpanSite&) = delete;
+  SpanSite& operator=(const SpanSite&) = delete;
+
+  const char* name() const { return name_; }
+  Histogram& hist();
+
+ private:
+  const char* name_;
+  std::atomic<Histogram*> hist_{nullptr};
+};
+
+/// RAII timer over one site. Inert when metrics are disabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanSite& site) {
+    if (MetricsEnabled()) {
+      site_ = &site;
+      start_ns_ = MonotonicNowNs();
+    }
+  }
+  ~ScopedSpan() {
+    if (site_ != nullptr) Finish();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Finish();  // histogram record + optional trace event
+
+  SpanSite* site_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace qo::obs
+
+#define QO_OBS_SPAN_CAT2(a, b) a##b
+#define QO_OBS_SPAN_CAT(a, b) QO_OBS_SPAN_CAT2(a, b)
+
+/// Times the rest of the enclosing scope under "span.<name>". `name` must
+/// be a string literal (it is stored by pointer for the process lifetime).
+#define QO_OBS_SPAN(name)                                              \
+  static ::qo::obs::SpanSite QO_OBS_SPAN_CAT(qo_obs_site_, __LINE__){  \
+      name};                                                           \
+  [[maybe_unused]] ::qo::obs::ScopedSpan QO_OBS_SPAN_CAT(              \
+      qo_obs_scope_, __LINE__){QO_OBS_SPAN_CAT(qo_obs_site_, __LINE__)}
+
+#endif  // QO_OBS_SPAN_H_

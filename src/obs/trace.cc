@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace qo::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;  ///< span-site string literal (static storage)
+  uint64_t start_ns;
+  uint64_t dur_ns;
+  uint32_t tid;
+};
+
+class Tracer {
+ public:
+  static Tracer& Get() {
+    static Tracer* tracer = new Tracer();  // never destroyed
+    return *tracer;
+  }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(const char* name, uint64_t start_ns, uint64_t end_ns) {
+    const uint32_t tid = ThreadTraceId();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    events_.push_back({name, start_ns - t0_ns_,
+                       end_ns >= start_ns ? end_ns - start_ns : 0, tid});
+  }
+
+  bool Flush() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (path_.empty()) return false;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+    for (size_t i = 0; i < events_.size(); ++i) {
+      const TraceEvent& ev = events_[i];
+      std::fprintf(f,
+                   "%s{\"name\":\"%s\",\"cat\":\"qo\",\"ph\":\"X\","
+                   "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                   i == 0 ? "" : ",", ev.name, ev.tid,
+                   static_cast<double>(ev.start_ns) / 1e3,
+                   static_cast<double>(ev.dur_ns) / 1e3);
+    }
+    std::fputs("]}\n", f);
+    std::fclose(f);
+    return true;
+  }
+
+  void SetPath(const char* path) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    if (path == nullptr) {
+      const char* env = std::getenv("QO_TRACE");
+      path_ = env == nullptr ? "" : env;
+    } else {
+      path_ = path;
+    }
+    t0_ns_ = MonotonicNowNs();
+    enabled_.store(!path_.empty(), std::memory_order_relaxed);
+    ArmAtExit();
+  }
+
+  std::string path() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return path_;
+  }
+
+ private:
+  Tracer() { SetPath(nullptr); }
+
+  void ArmAtExit() {
+    if (enabled_.load(std::memory_order_relaxed) && !atexit_armed_) {
+      atexit_armed_ = true;
+      std::atexit([] { FlushTraceNow(); });
+    }
+  }
+
+  static uint32_t ThreadTraceId() {
+    static std::atomic<uint32_t> next{1};
+    thread_local const uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  bool atexit_armed_ = false;
+  std::string path_;
+  uint64_t t0_ns_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace
+
+bool TraceEnabled() { return Tracer::Get().enabled() && MetricsEnabled(); }
+
+void TraceRecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  Tracer& tracer = Tracer::Get();
+  if (!tracer.enabled()) return;
+  tracer.Record(name, start_ns, end_ns);
+}
+
+bool FlushTraceNow() { return Tracer::Get().Flush(); }
+
+void SetTracePathForTest(const char* path) { Tracer::Get().SetPath(path); }
+
+std::string TracePath() { return Tracer::Get().path(); }
+
+}  // namespace qo::obs

@@ -1,0 +1,43 @@
+// Chrome-trace-format span sink: set QO_TRACE=<path> and every completed
+// QO_OBS_SPAN (plus the engine's hand-instrumented compile/execute spans)
+// is recorded as a "complete" (ph:"X") event. The file written at process
+// exit (or via FlushTraceNow) loads directly in chrome://tracing and
+// Perfetto (ui.perfetto.dev), showing where a run's wall-clock goes per
+// thread.
+//
+// Tracing rides on the metrics dispatch check: QO_METRICS=0 disables spans
+// entirely, so QO_TRACE only has an effect while metrics are enabled.
+// Recording appends to a mutex-guarded buffer — tracing is a debugging
+// sink, not a hot-path one.
+#ifndef QO_OBS_TRACE_H_
+#define QO_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qo::obs {
+
+/// True when a trace path is configured (QO_TRACE or the test hook) and
+/// metrics are enabled.
+bool TraceEnabled();
+
+/// Records one completed span. `start_ns`/`end_ns` are MonotonicNowNs()
+/// readings; the event is stamped with a small dense id for the calling
+/// thread. No-op when tracing is disabled.
+void TraceRecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns);
+
+/// Writes all events recorded so far to the configured path (rewriting the
+/// file). Also installed as an atexit handler the first time tracing turns
+/// on. Returns false when tracing is off or the file cannot be written.
+bool FlushTraceNow();
+
+/// Test hook: points the tracer at `path` (nullptr restores the QO_TRACE
+/// env behaviour) and clears any buffered events.
+void SetTracePathForTest(const char* path);
+
+/// The configured trace path ("" when tracing is off).
+std::string TracePath();
+
+}  // namespace qo::obs
+
+#endif  // QO_OBS_TRACE_H_

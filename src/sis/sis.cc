@@ -93,6 +93,7 @@ Result<int> StatsInsightService::UploadHintFile(const HintFile& file) {
   for (const HintEntry& e : file.entries) {
     active_[e.template_name] = e;
   }
+  hints_uploaded_ += file.entries.size();
   return version_;
 }
 
@@ -116,6 +117,7 @@ Status StatsInsightService::RevertHint(const std::string& template_name) {
     return Status::NotFound("no active hint for " + template_name);
   }
   active_.erase(it);
+  ++hints_reverted_;
   return Status::OK();
 }
 

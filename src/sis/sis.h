@@ -61,11 +61,17 @@ class StatsInsightService {
   int current_version() const { return version_; }
   size_t active_hints() const { return active_.size(); }
   const std::vector<HintFile>& history() const { return history_; }
+  /// Hint entries installed across every uploaded version (monotonic).
+  size_t total_hints_uploaded() const { return hints_uploaded_; }
+  /// Hints rolled back via RevertHint (monotonic).
+  size_t hints_reverted() const { return hints_reverted_; }
 
  private:
   int version_ = 0;
   std::vector<HintFile> history_;
   std::map<std::string, HintEntry> active_;
+  size_t hints_uploaded_ = 0;
+  size_t hints_reverted_ = 0;
 };
 
 }  // namespace qo::sis

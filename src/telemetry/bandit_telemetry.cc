@@ -5,13 +5,14 @@
 namespace qo::telemetry {
 
 std::string BanditTelemetry::ToString() const {
-  char line[288];
+  char line[384];
   std::snprintf(
       line, sizeof(line),
       "bandit personalizer:\n"
       "  ranks=%llu combines=%llu precombined_reused=%llu reuse_rate=%.1f%%\n"
       "  reward_joins=%llu reward_failures=%llu retrains=%llu "
-      "examples_trained=%llu events_compacted=%llu\n",
+      "examples_trained=%llu events_compacted=%llu\n"
+      "  resident_events=%llu/%llu occupancy=%.1f%%\n",
       static_cast<unsigned long long>(ranks),
       static_cast<unsigned long long>(combines),
       static_cast<unsigned long long>(precombined_reused),
@@ -20,8 +21,29 @@ std::string BanditTelemetry::ToString() const {
       static_cast<unsigned long long>(reward_failures),
       static_cast<unsigned long long>(retrains),
       static_cast<unsigned long long>(examples_trained),
-      static_cast<unsigned long long>(events_compacted));
+      static_cast<unsigned long long>(events_compacted),
+      static_cast<unsigned long long>(resident_events),
+      static_cast<unsigned long long>(retention_window),
+      100.0 * retention_occupancy());
   return line;
+}
+
+void ExportSeries(const BanditTelemetry& t, obs::SeriesSink& sink) {
+  sink.Add("bandit.ranks", static_cast<double>(t.ranks));
+  sink.Add("bandit.combines", static_cast<double>(t.combines));
+  sink.Add("bandit.precombined_reused",
+           static_cast<double>(t.precombined_reused));
+  sink.Add("bandit.combine_reuse_rate", t.combine_reuse_rate());
+  sink.Add("bandit.reward_joins", static_cast<double>(t.reward_joins));
+  sink.Add("bandit.reward_failures", static_cast<double>(t.reward_failures));
+  sink.Add("bandit.retrains", static_cast<double>(t.retrains));
+  sink.Add("bandit.examples_trained", static_cast<double>(t.examples_trained));
+  sink.Add("bandit.events_compacted",
+           static_cast<double>(t.events_compacted));
+  sink.Add("bandit.resident_events", static_cast<double>(t.resident_events));
+  sink.Add("bandit.retention_window",
+           static_cast<double>(t.retention_window));
+  sink.Add("bandit.retention_occupancy", t.retention_occupancy());
 }
 
 }  // namespace qo::telemetry

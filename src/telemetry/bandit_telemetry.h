@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace qo::telemetry {
 
 /// Snapshot of Personalizer activity: how many Rank calls ran, how many
@@ -27,8 +29,21 @@ struct BanditTelemetry {
   uint64_t retrains = 0;            ///< Retrain() invocations
   uint64_t examples_trained = 0;    ///< examples consumed by retrains
   uint64_t events_compacted = 0;    ///< events dropped by retention
+  /// Events currently retained in the log at snapshot time. Read together
+  /// with retention_window this exposes retention occupancy — a log pinned
+  /// at its window means compaction is active, not that traffic stopped.
+  uint64_t resident_events = 0;
+  uint64_t retention_window = 0;  ///< configured retention bound (0 = none)
 
   uint64_t combined_vectors() const { return combines + precombined_reused; }
+  /// Fraction of the retention window occupied by retained events (0 when
+  /// no window is configured).
+  double retention_occupancy() const {
+    return retention_window == 0
+               ? 0.0
+               : static_cast<double>(resident_events) /
+                     static_cast<double>(retention_window);
+  }
   /// Fraction of per-action combined vectors served by the shared cache.
   double combine_reuse_rate() const {
     uint64_t n = combined_vectors();
@@ -40,6 +55,10 @@ struct BanditTelemetry {
   /// Human-readable multi-line dump for benches and debugging.
   std::string ToString() const;
 };
+
+/// Exports the snapshot as registry series ("bandit.ranks",
+/// "bandit.reward_failures", "bandit.retention_occupancy", ...).
+void ExportSeries(const BanditTelemetry& t, obs::SeriesSink& sink);
 
 }  // namespace qo::telemetry
 

@@ -28,4 +28,25 @@ std::string CompileCacheTelemetry::ToString() const {
   return out;
 }
 
+namespace {
+
+void ExportLevel(const char* prefix, const CacheCounters& c,
+                 obs::SeriesSink& sink) {
+  std::string base(prefix);
+  sink.Add(base + ".hits", static_cast<double>(c.hits));
+  sink.Add(base + ".misses", static_cast<double>(c.misses));
+  sink.Add(base + ".evictions", static_cast<double>(c.evictions));
+  sink.Add(base + ".entries", static_cast<double>(c.entries));
+  sink.Add(base + ".capacity", static_cast<double>(c.capacity));
+  sink.Add(base + ".hit_rate", c.hit_rate());
+}
+
+}  // namespace
+
+void ExportSeries(const CompileCacheTelemetry& t, obs::SeriesSink& sink) {
+  sink.Add("cache.enabled", t.enabled ? 1.0 : 0.0);
+  ExportLevel("cache.front_end", t.front_end, sink);
+  ExportLevel("cache.compilations", t.compilations, sink);
+}
+
 }  // namespace qo::telemetry

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace qo::telemetry {
 
 /// Counter snapshot for one cache level, merged across shards.
@@ -40,6 +42,13 @@ struct CompileCacheTelemetry {
   /// Human-readable multi-line dump for benches and debugging.
   std::string ToString() const;
 };
+
+/// Exports the snapshot as registry series ("cache.enabled",
+/// "cache.front_end.hits", "cache.compilations.hit_rate", ...). The engine
+/// registers this as a registry collector, so every MetricsSnapshot / run
+/// report carries the cache surface. "cache.enabled"=0 with zero counters
+/// distinguishes cache-off from an idle cache.
+void ExportSeries(const CompileCacheTelemetry& t, obs::SeriesSink& sink);
 
 }  // namespace qo::telemetry
 

@@ -20,4 +20,14 @@ std::string ExecProfileTelemetry::ToString() const {
   return line;
 }
 
+void ExportSeries(const ExecProfileTelemetry& t, obs::SeriesSink& sink) {
+  sink.Add("exec.prepared_enabled", t.prepared_enabled ? 1.0 : 0.0);
+  sink.Add("exec.prepares", static_cast<double>(t.prepares));
+  sink.Add("exec.prepared_runs", static_cast<double>(t.prepared_runs));
+  sink.Add("exec.unprepared_runs", static_cast<double>(t.unprepared_runs));
+  sink.Add("exec.profile_hits", static_cast<double>(t.profile_hits));
+  sink.Add("exec.profile_misses", static_cast<double>(t.profile_misses));
+  sink.Add("exec.reuse_rate", t.reuse_rate());
+}
+
 }  // namespace qo::telemetry

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace qo::telemetry {
 
 /// Snapshot of prepared-execution activity: how many execution profiles were
@@ -37,6 +39,10 @@ struct ExecProfileTelemetry {
   /// Human-readable multi-line dump for benches and debugging.
   std::string ToString() const;
 };
+
+/// Exports the snapshot as registry series ("exec.prepared_enabled",
+/// "exec.prepares", "exec.reuse_rate", ...).
+void ExportSeries(const ExecProfileTelemetry& t, obs::SeriesSink& sink);
 
 }  // namespace qo::telemetry
 

@@ -1,0 +1,37 @@
+#include "telemetry/flight_telemetry.h"
+
+#include <cstdio>
+
+namespace qo::telemetry {
+
+std::string FlightTelemetry::ToString() const {
+  char line[288];
+  std::snprintf(
+      line, sizeof(line),
+      "flighting:\n"
+      "  success=%llu failure=%llu timeout=%llu filtered=%llu "
+      "batches=%llu aa_runs=%llu\n"
+      "  budget=%.1f/%.1f machine-hours (%.1f%%)\n",
+      static_cast<unsigned long long>(flights_success),
+      static_cast<unsigned long long>(flights_failure),
+      static_cast<unsigned long long>(flights_timeout),
+      static_cast<unsigned long long>(flights_filtered),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(aa_runs), budget_used_hours,
+      budget_total_hours, 100.0 * budget_utilization());
+  return line;
+}
+
+void ExportSeries(const FlightTelemetry& t, obs::SeriesSink& sink) {
+  sink.Add("flight.success", static_cast<double>(t.flights_success));
+  sink.Add("flight.failure", static_cast<double>(t.flights_failure));
+  sink.Add("flight.timeout", static_cast<double>(t.flights_timeout));
+  sink.Add("flight.filtered", static_cast<double>(t.flights_filtered));
+  sink.Add("flight.batches", static_cast<double>(t.batches));
+  sink.Add("flight.aa_runs", static_cast<double>(t.aa_runs));
+  sink.Add("flight.budget_used_hours", t.budget_used_hours);
+  sink.Add("flight.budget_total_hours", t.budget_total_hours);
+  sink.Add("flight.budget_utilization", t.budget_utilization());
+}
+
+}  // namespace qo::telemetry

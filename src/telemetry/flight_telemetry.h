@@ -1,0 +1,49 @@
+// Telemetry counters for the flighting service (src/flighting/): committed
+// flight outcomes, batch traffic, A/A runs and machine-hour budget health.
+//
+// Same shape as the other telemetry surfaces: the service keeps the
+// counters, this header defines the snapshot the rest of the system
+// consumes (pipeline reports, benches, tests) plus the registry exporter.
+#ifndef QO_TELEMETRY_FLIGHT_TELEMETRY_H_
+#define QO_TELEMETRY_FLIGHT_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace qo::telemetry {
+
+/// Snapshot of one flighting service's committed activity. Outcome counts
+/// cover admitted flights only (speculative flights refunded at the batch
+/// commit are not outcomes the service reported to anyone).
+struct FlightTelemetry {
+  uint64_t flights_success = 0;
+  uint64_t flights_failure = 0;
+  uint64_t flights_timeout = 0;   ///< per-job timeouts + budget rejections
+  uint64_t flights_filtered = 0;
+  uint64_t batches = 0;           ///< FlightBatch calls
+  uint64_t aa_runs = 0;           ///< individual A/A executions
+  double budget_used_hours = 0.0;
+  double budget_total_hours = 0.0;
+
+  uint64_t flights() const {
+    return flights_success + flights_failure + flights_timeout +
+           flights_filtered;
+  }
+  double budget_utilization() const {
+    return budget_total_hours == 0.0 ? 0.0
+                                     : budget_used_hours / budget_total_hours;
+  }
+
+  /// Human-readable multi-line dump for benches and debugging.
+  std::string ToString() const;
+};
+
+/// Exports the snapshot as registry series ("flight.success",
+/// "flight.budget_used_hours", ...).
+void ExportSeries(const FlightTelemetry& t, obs::SeriesSink& sink);
+
+}  // namespace qo::telemetry
+
+#endif  // QO_TELEMETRY_FLIGHT_TELEMETRY_H_

@@ -23,4 +23,13 @@ std::string OptimizerTelemetry::ToString() const {
   return line;
 }
 
+void ExportSeries(const OptimizerTelemetry& t, obs::SeriesSink& sink) {
+  sink.Add("optimizer.memo.enabled", t.memo_enabled ? 1.0 : 0.0);
+  sink.Add("optimizer.memo.full_hits", static_cast<double>(t.memo_full_hits));
+  sink.Add("optimizer.memo.norm_hits", static_cast<double>(t.memo_norm_hits));
+  sink.Add("optimizer.memo.misses", static_cast<double>(t.memo_misses));
+  sink.Add("optimizer.memo.hit_rate", t.memo_hit_rate());
+  sink.Add("optimizer.symbols", static_cast<double>(t.interned_symbols));
+}
+
 }  // namespace qo::telemetry

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace qo::telemetry {
 
 /// Snapshot of one engine's cross-config memo counters plus the process-wide
@@ -42,6 +44,12 @@ struct OptimizerTelemetry {
   /// Human-readable multi-line dump for benches and debugging.
   std::string ToString() const;
 };
+
+/// Exports the snapshot as registry series ("optimizer.memo.enabled",
+/// "optimizer.memo.full_hits", ..., "optimizer.symbols"). The explicit
+/// enabled series distinguishes a disabled memo from an enabled memo that
+/// saw no traffic — both report zero hits.
+void ExportSeries(const OptimizerTelemetry& t, obs::SeriesSink& sink);
 
 }  // namespace qo::telemetry
 

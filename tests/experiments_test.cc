@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "experiments/experiments.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 
 namespace qo::experiments {
 namespace {
@@ -152,6 +154,52 @@ TEST(ExperimentsTest, EndToEndPipelineImpactIsNetPositive) {
   for (size_t i = 1; i < result.pn_deltas.size(); ++i) {
     EXPECT_LE(result.pn_deltas[i - 1], result.pn_deltas[i]);
   }
+}
+
+TEST(ExperimentsTest, RunReportCarriesKeyPipelineSeries) {
+  // The observability contract the bench scripts and CI artifacts rely on:
+  // after an end-to-end run, one run-report line carries phase quantiles and
+  // every legacy telemetry surface as series.
+  obs::SetMetricsEnabledForTest(1);
+  obs::Registry::Get().ZeroAllForTest();
+  {
+    ExperimentEnv env(SmallConfig());
+    sis::StatsInsightService sis;
+    advisor::PipelineConfig config;
+    config.runtime = env.runtime_options();
+    // Snapshot while the pipeline is alive: its collector exports the
+    // bandit/flighting/SIS series.
+    advisor::QoAdvisorPipeline pipeline(&env.engine(), &sis, config,
+                                        env.runtime());
+    for (int day = 0; day < 4; ++day) {
+      ASSERT_TRUE(pipeline.RunDay(env.BuildDayView(day, &sis)).ok());
+    }
+    obs::MetricsSnapshot snap = obs::Registry::Get().Snapshot();
+    const std::string line = obs::RunReportJsonLine("experiments_test", 0, snap);
+    obs::SetMetricsEnabledForTest(-1);
+
+    // Line is a single JSON object with both top-level sections populated.
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"series\":{"), std::string::npos);
+    EXPECT_NE(line.find("\"quantiles\":{"), std::string::npos);
+    EXPECT_NE(line.find("\"span.compile\":{\"count\":"), std::string::npos);
+
+    // Compile-phase latency quantiles are populated.
+    const obs::HistogramSnapshot* compile = snap.FindHistogram("span.compile");
+    ASSERT_NE(compile, nullptr);
+    EXPECT_GT(compile->total, 0u);
+    EXPECT_GT(compile->Quantile(0.5), 0u);
+
+    // Memo telemetry surfaces with a meaningful hit rate, and the bandit's
+    // reward join never failed.
+    EXPECT_EQ(snap.SeriesValue("optimizer.memo.enabled"), 1.0);
+    EXPECT_GT(snap.SeriesValue("optimizer.memo.hit_rate"), 0.0);
+    ASSERT_TRUE(snap.HasSeries("bandit.reward_failures"));
+    EXPECT_EQ(snap.SeriesValue("bandit.reward_failures"), 0.0);
+    EXPECT_GT(snap.SeriesValue("bandit.ranks"), 0.0);
+  }
+  obs::SetMetricsEnabledForTest(-1);
 }
 
 }  // namespace
