@@ -11,6 +11,13 @@
 // day also appends a JSONL run-report line to QO_OBS_REPORT (default:
 // daily_pipeline_report.jsonl), and QO_TRACE=<path> additionally writes a
 // Chrome-trace span dump loadable in Perfetto.
+//
+// Guardrails: QO_GUARD=1 arms the watchdog/breaker/retry layer, and the
+// QO_FAULT_* knobs inject deterministic chaos. Try
+//   QO_GUARD=1 QO_FAULT_SEED=7 QO_FAULT_HINT_REGRESSION=0.5
+//   QO_FAULT_HINT_REGRESSION_FACTOR=6 ./build/examples/daily_pipeline
+// (one command line) to watch deployed hints regress in production, get
+// auto-reverted within the hysteresis window, and stay quarantined.
 #include <cstdio>
 #include <cstdlib>
 
@@ -42,8 +49,9 @@ int main(int argc, char** argv) {
   }
   const std::string report_label = obs::ObsLabelFromEnv("daily_pipeline");
 
-  std::printf("%4s %6s %6s %9s %8s %8s %10s %6s\n", "day", "jobs", "spans",
-              "forwarded", "flights", "validated", "hints(new)", "active");
+  std::printf("%4s %6s %6s %9s %8s %8s %10s %6s %7s %5s\n", "day", "jobs",
+              "spans", "forwarded", "flights", "validated", "hints(new)",
+              "active", "revert", "quar");
   for (int day = 0; day < days; ++day) {
     // The view includes jobs already steered by previously uploaded hints —
     // the closed loop of Fig. 1.
@@ -53,11 +61,11 @@ int main(int argc, char** argv) {
       std::printf("day %d failed: %s\n", day, report.status().ToString().c_str());
       continue;
     }
-    std::printf("%4d %6zu %6zu %9zu %8zu %8zu %10zu %6zu\n", day,
+    std::printf("%4d %6zu %6zu %9zu %8zu %8zu %10zu %6zu %7zu %5zu\n", day,
                 report->feature_gen.input_jobs, report->feature_gen.emitted,
                 report->recommender.forwarded, report->flights_success,
-                report->validated, report->hints_uploaded,
-                sis.active_hints());
+                report->validated, report->hints_uploaded, sis.active_hints(),
+                report->hints_reverted, report->quarantine_blocked);
     if (report_writer != nullptr) {
       report_writer->Append(obs::RunReportJsonLine(
           report_label, day, obs::Registry::Get().Snapshot()));
@@ -97,11 +105,28 @@ int main(int argc, char** argv) {
     std::printf("  (no hint matched on day %d — try more days)\n", days);
   }
 
+  // Guardrail activity: watchdog reverts, quarantines still in cool-down,
+  // breaker trips and the chaos faults the pipeline absorbed.
+  if (pipeline.steering_guard().enabled()) {
+    std::printf("\n%s", pipeline.steering_guard().telemetry().ToString().c_str());
+    std::printf("  quarantines active on day %d: %zu\n", days,
+                pipeline.steering_guard().watchdog().ActiveQuarantines(days));
+    std::printf("  steered-run fallbacks (injected compile faults): %llu\n",
+                static_cast<unsigned long long>(env.steered_fallbacks()));
+    std::printf("  production runs inflated by injected regressions: %llu\n",
+                static_cast<unsigned long long>(env.regressions_injected()));
+  }
+
   // One registry-wide dump covers what used to be four hand-formatted
   // per-subsystem printf blocks: cache/memo/exec-profile absorption, the
   // bandit's combined-feature cache and retention health, flighting budget,
-  // SIS hint lifecycle, and the phase latency quantiles.
-  std::printf("\n%s", obs::RunReportText(obs::Registry::Get().Snapshot()).c_str());
+  // SIS hint lifecycle, and the phase latency quantiles. Gated on the
+  // metrics switch: QO_METRICS=0 keeps stdout free of timer-dependent lines
+  // (what the CI chaos-determinism diff relies on).
+  if (obs::MetricsEnabled()) {
+    std::printf("\n%s",
+                obs::RunReportText(obs::Registry::Get().Snapshot()).c_str());
+  }
   if (report_writer != nullptr) {
     std::printf("\nper-day run report appended to %s\n",
                 report_writer->path().c_str());

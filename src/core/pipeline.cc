@@ -1,10 +1,32 @@
 #include "core/pipeline.h"
 
+#include <cstdio>
 #include <set>
 
 #include "obs/span.h"
 
 namespace qo::advisor {
+
+std::string PipelineDayReport::ToString() const {
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "day=%d jobs=%zu emitted=%zu compile_fail=%zu fwd=%zu "
+      "faults_rec=%zu rewards_dropped=%zu req=%zu ok=%zu fail=%zu to=%zu "
+      "filt=%zu budget_rej=%zu val=%zu hints=%zu budget=%.6f trained=%d "
+      "reverted=%zu quarantined=%zu breaker_blocked=%zu retries=%zu "
+      "recovered=%zu rows_dropped=%zu faults=%zu hint_rej=%d disabled=%d",
+      day, feature_gen.input_jobs, feature_gen.emitted,
+      feature_gen.compile_failures, recommender.forwarded,
+      recommender.faults_injected, recommender.rewards_dropped,
+      flight_requests, flights_success, flights_failure, flights_timeout,
+      flights_filtered, flights_budget_rejected, validated, hints_uploaded,
+      flight_budget_used_hours, validation_model_trained ? 1 : 0,
+      hints_reverted, quarantine_blocked, breaker_blocked, flight_retries,
+      flights_recovered, telemetry_rows_dropped, faults_injected,
+      hint_file_rejected ? 1 : 0, steering_disabled ? 1 : 0);
+  return line;
+}
 
 QoAdvisorPipeline::QoAdvisorPipeline(const engine::ScopeEngine* engine,
                                      sis::StatsInsightService* sis,
@@ -18,9 +40,11 @@ QoAdvisorPipeline::QoAdvisorPipeline(const engine::ScopeEngine* engine,
                          : std::make_unique<runtime::ParallelRuntime>(
                                config.runtime)),
       runtime_(runtime != nullptr ? runtime : owned_runtime_.get()),
+      injector_(config.guard.faults),
+      guard_(config.guard),
       personalizer_(config.personalizer),
-      flighting_(engine, config.flighting, runtime_),
-      recommender_(engine, &personalizer_, config.recommender),
+      flighting_(engine, config.flighting, runtime_, &injector_),
+      recommender_(engine, &personalizer_, config.recommender, &injector_),
       validation_(config.validation) {
   // One collector covers every surface the pipeline owns or borrows:
   // Personalizer (bandit.*), flighting (flight.*), SIS hint lifecycle
@@ -42,6 +66,7 @@ QoAdvisorPipeline::QoAdvisorPipeline(const engine::ScopeEngine* engine,
         sink.Add("pipeline.validated", static_cast<double>(cum_.validated));
         sink.Add("pipeline.hints_uploaded",
                  static_cast<double>(cum_.hints_uploaded));
+        telemetry::ExportSeries(guard_.telemetry(), sink);
       });
 }
 
@@ -68,10 +93,50 @@ Result<PipelineDayReport> QoAdvisorPipeline::RunDay(
   PipelineDayReport report;
   report.day = view.day;
 
+  // --- Stale-telemetry faults: rows that never arrived at the view. ---
+  // Dropped before anything (watchdog included) sees them; pure per
+  // (day, job), counted on this serial path only.
+  telemetry::WorkloadView arrived_storage;
+  const telemetry::WorkloadView* arrived = &view;
+  if (injector_.armed() &&
+      injector_.config().telemetry_drop_prob > 0.0) {
+    arrived_storage.day = view.day;
+    for (const auto& row : view.rows) {
+      if (injector_.ShouldInject(guard::FaultSite::kTelemetry, view.day,
+                                 row.job_id)) {
+        ++report.telemetry_rows_dropped;
+        ++guard_.counters().faults_telemetry_drop;
+        continue;
+      }
+      arrived_storage.rows.push_back(row);
+    }
+    arrived = &arrived_storage;
+  }
+
+  // --- Post-deployment watchdog: monitor yesterday's hints against today's
+  // production telemetry; auto-revert sustained regressions and quarantine
+  // the (template, rule) pairs. Monitoring continues even on days the
+  // breaker keeps steering off.
+  if (guard_.enabled()) {
+    std::vector<guard::WatchdogAction> reverts =
+        guard_.watchdog().ObserveDay(*arrived, sis_);
+    report.hints_reverted = reverts.size();
+  }
+
+  // --- Global circuit breaker: when open, the day runs unsteered — no
+  // recommendation, flighting or hint upload; production jobs keep running
+  // on default configurations and the watchdog keeps watching.
+  if (guard_.enabled() && !guard_.SteeringAllowed(view.day)) {
+    report.steering_disabled = true;
+    guard_.CloseDay(view.day);
+    ++cum_.days;
+    return report;
+  }
+
   // --- Feature Generation (recurring jobs only, Sec. 2.1). ---
   telemetry::WorkloadView filtered;
   filtered.day = view.day;
-  for (const auto& row : view.rows) {
+  for (const auto& row : arrived->rows) {
     if (!config_.recurring_only || row.recurring) filtered.rows.push_back(row);
   }
   std::vector<JobFeatures> features = [&] {
@@ -83,8 +148,33 @@ Result<PipelineDayReport> QoAdvisorPipeline::RunDay(
   std::vector<Recommendation> recs = recommender_.RecommendDay(
       features, view.day, &report.recommender, runtime_);
 
+  // Guard bookkeeping for the recommendation boundary's injected faults.
+  guard_.counters().faults_compile += report.recommender.faults_injected;
+  guard_.counters().faults_reward_drop += report.recommender.rewards_dropped;
+
   // --- Flight selection: one representative per template, budget-capped.
   std::vector<Recommendation> candidates = PickRepresentatives(std::move(recs));
+  // Guardrail filters: quarantined (template, rule) pairs stay blocked for
+  // their cool-down; templates with an open breaker sit the day out.
+  if (guard_.enabled()) {
+    std::vector<Recommendation> allowed;
+    allowed.reserve(candidates.size());
+    for (auto& rec : candidates) {
+      if (guard_.watchdog().Quarantined(rec.template_name, rec.rule_id,
+                                        view.day)) {
+        ++report.quarantine_blocked;
+        ++guard_.counters().quarantine_blocked;
+        continue;
+      }
+      if (!guard_.TemplateAllowed(rec.template_name, view.day)) {
+        ++report.breaker_blocked;
+        ++guard_.counters().template_blocked;
+        continue;
+      }
+      allowed.push_back(std::move(rec));
+    }
+    candidates = std::move(allowed);
+  }
   if (candidates.size() > config_.max_flights_per_day) {
     candidates.resize(config_.max_flights_per_day);
   }
@@ -115,11 +205,62 @@ Result<PipelineDayReport> QoAdvisorPipeline::RunDay(
     return nullptr;
   };
 
+  // --- Graceful degradation: re-flight transient failures under fresh
+  // salts (the simulated form of retry-with-backoff — each attempt is an
+  // independent later submission). Serial, so retry traffic and its budget
+  // spend are deterministic for any thread count.
+  if (guard_.enabled() && config_.guard.flight_max_retries > 0) {
+    uint64_t retry_no = 0;
+    for (flight::FlightResult& fl : flights) {
+      if (fl.outcome != flight::FlightOutcome::kFailure) continue;
+      const Recommendation* rec = find_rec(fl.job_id);
+      if (rec == nullptr) continue;
+      flight::FlightRequest req{rec->instance, opt::RuleConfig::Default(),
+                                rec->ToConfig(), 0.0};
+      for (int attempt = 0; attempt < config_.guard.flight_max_retries &&
+                            fl.outcome == flight::FlightOutcome::kFailure;
+           ++attempt) {
+        ++report.flight_retries;
+        ++guard_.counters().flight_retries;
+        auto retry = flighting_.FlightOne(
+            req, static_cast<uint64_t>(view.day) * 15485863 + ++retry_no);
+        if (!retry.ok()) break;  // budget exhausted: give up on retries
+        if (retry->outcome == flight::FlightOutcome::kFailure) continue;
+        if (retry->outcome == flight::FlightOutcome::kSuccess) {
+          ++report.flights_recovered;
+          ++guard_.counters().flight_recoveries;
+        }
+        // The injected-fault flag stays sticky across the replacement so
+        // the day report still counts the fault the retry recovered from.
+        bool was_injected = fl.fault_injected;
+        fl = *retry;
+        fl.fault_injected |= was_injected;
+      }
+    }
+  }
+
   // --- Validation: gather samples, retrain, accept/reject. ---
   std::vector<Recommendation> validated;
   {
     QO_OBS_SPAN("validate");
     for (const flight::FlightResult& flight : flights) {
+      if (flight.fault_injected) {
+        ++report.faults_injected;
+        ++guard_.counters().faults_flight;
+      }
+      // Steering-health events for the breakers: completed flights vote
+      // success/failure (timeouts count as failures — a timeout storm must
+      // trip the breaker); budget rejections and filtered jobs say nothing
+      // about steering health.
+      if (guard_.enabled() &&
+          (flight.outcome == flight::FlightOutcome::kSuccess ||
+           flight.outcome == flight::FlightOutcome::kFailure ||
+           flight.outcome == flight::FlightOutcome::kTimeout)) {
+        const Recommendation* rec = find_rec(flight.job_id);
+        guard_.RecordSteeringEvent(
+            rec != nullptr ? rec->template_name : flight.job_id,
+            flight.outcome != flight::FlightOutcome::kSuccess);
+      }
       switch (flight.outcome) {
         case flight::FlightOutcome::kSuccess:
           ++report.flights_success;
@@ -132,6 +273,9 @@ Result<PipelineDayReport> QoAdvisorPipeline::RunDay(
           continue;
         case flight::FlightOutcome::kFiltered:
           ++report.flights_filtered;
+          continue;
+        case flight::FlightOutcome::kBudgetRejected:
+          ++report.flights_budget_rejected;
           continue;
       }
       const Recommendation* rec = find_rec(flight.job_id);
@@ -162,9 +306,33 @@ Result<PipelineDayReport> QoAdvisorPipeline::RunDay(
   if (!validated.empty()) {
     QO_OBS_SPAN("hint_gen");
     sis::HintFile file = BuildHintFile(validated, view.day);
-    auto version = sis_->UploadHintFile(file);
-    if (version.ok()) report.hints_uploaded = file.entries.size();
+    if (injector_.armed() && injector_.config().hint_corrupt_prob > 0.0) {
+      // Chaos path: the file travels as serialized text, where a corrupt
+      // write must be caught by the strict parser before installation —
+      // a bad file is rejected whole, never half-applied.
+      std::string text = file.Serialize();
+      if (injector_.ShouldInject(guard::FaultSite::kHintFile, view.day,
+                                 uint64_t{0})) {
+        text = injector_.CorruptHintText(text, view.day);
+        ++report.faults_injected;
+        ++guard_.counters().faults_hint_file;
+      }
+      auto parsed = sis::HintFile::Parse(text);
+      if (!parsed.ok()) {
+        report.hint_file_rejected = true;
+        ++guard_.counters().hint_files_rejected;
+      } else {
+        auto version = sis_->UploadHintFile(*parsed);
+        if (version.ok()) report.hints_uploaded = parsed->entries.size();
+      }
+    } else {
+      auto version = sis_->UploadHintFile(file);
+      if (version.ok()) report.hints_uploaded = file.entries.size();
+    }
   }
+
+  // End of day: breakers evaluate the day's steering-health events.
+  if (guard_.enabled()) guard_.CloseDay(view.day);
 
   ++cum_.days;
   cum_.flight_requests += report.flight_requests;

@@ -15,6 +15,7 @@
 #define QO_CORE_PIPELINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bandit/personalizer.h"
@@ -23,6 +24,7 @@
 #include "core/recommend.h"
 #include "core/validation.h"
 #include "flighting/flighting.h"
+#include "guard/guardrail.h"
 #include "runtime/runtime.h"
 #include "sis/sis.h"
 #include "telemetry/workload_view.h"
@@ -44,6 +46,10 @@ struct PipelineConfig {
   /// Deterministic: any num_threads produces byte-identical day reports,
   /// SIS uploads and learning state.
   runtime::RuntimeOptions runtime;
+  /// Guardrails + chaos fault injection. Defaults read QO_GUARD and the
+  /// QO_FAULT_* knobs; with those unset everything here is inert and the
+  /// pipeline behaves bit-for-bit as before.
+  guard::GuardConfig guard = guard::GuardConfig::FromEnv();
 };
 
 /// Per-day pipeline telemetry.
@@ -54,12 +60,27 @@ struct PipelineDayReport {
   size_t flight_requests = 0;
   size_t flights_success = 0;
   size_t flights_failure = 0;
-  size_t flights_timeout = 0;
+  size_t flights_timeout = 0;  ///< real per-job flighting timeouts
   size_t flights_filtered = 0;
+  size_t flights_budget_rejected = 0;  ///< never admitted: budget ran out
   size_t validated = 0;
   size_t hints_uploaded = 0;
   double flight_budget_used_hours = 0.0;
   bool validation_model_trained = false;
+  // Guardrail activity (zero when the guard layer is disabled).
+  size_t hints_reverted = 0;      ///< watchdog auto-reverts this day
+  size_t quarantine_blocked = 0;  ///< candidates blocked by quarantine
+  size_t breaker_blocked = 0;     ///< candidates blocked by open breakers
+  size_t flight_retries = 0;
+  size_t flights_recovered = 0;   ///< retries that turned into success
+  size_t telemetry_rows_dropped = 0;
+  size_t faults_injected = 0;     ///< injected faults the day acted on
+  bool hint_file_rejected = false;
+  bool steering_disabled = false;  ///< global breaker was open today
+
+  /// Canonical one-line rendering of every counter — what the chaos
+  /// determinism tests compare byte-for-byte across thread counts.
+  std::string ToString() const;
 };
 
 /// The daily-pipeline orchestrator.
@@ -83,6 +104,10 @@ class QoAdvisorPipeline {
   runtime::ParallelRuntime& runtime() { return *runtime_; }
   flight::FlightingService& flighting() { return flighting_; }
   ValidationModel& validation_model() { return validation_; }
+  /// Guardrail state (watchdog, breakers, counters) — read-mostly for
+  /// tests/demos; the pipeline drives it on the serial path.
+  guard::SteeringGuard& steering_guard() { return guard_; }
+  const guard::FaultInjector& fault_injector() const { return injector_; }
   const std::vector<ValidationSample>& validation_samples() const {
     return validation_samples_;
   }
@@ -100,6 +125,9 @@ class QoAdvisorPipeline {
   /// runtime_/flighting_, which point at it.
   std::unique_ptr<runtime::ParallelRuntime> owned_runtime_;
   runtime::ParallelRuntime* runtime_;
+  /// Declared before flighting_/recommender_, which hold a pointer to it.
+  guard::FaultInjector injector_;
+  guard::SteeringGuard guard_;
   bandit::PersonalizerService personalizer_;
   flight::FlightingService flighting_;
   Recommender recommender_;

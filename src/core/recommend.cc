@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/hash.h"
 #include "obs/span.h"
 #include "runtime/runtime.h"
 
@@ -25,6 +26,7 @@ struct FlipEval {
   double est_cost_new = 0.0;
   RecompileOutcome outcome = RecompileOutcome::kEqualCost;
   double reward = 1.0;
+  bool fault_injected = false;
 };
 
 /// The default-configuration estimated cost of a job. JobFeatures built by
@@ -44,10 +46,24 @@ double DefaultEstCost(const engine::ScopeEngine& engine,
 
 FlipEval EvaluateFlipCore(const engine::ScopeEngine& engine,
                           double reward_clip, const JobFeatures& job,
-                          int rule_id) {
+                          int rule_id,
+                          const guard::FaultInjector* injector) {
   FlipEval e;
   double est_cost_default = DefaultEstCost(engine, job);
   e.enable = !opt::RuleConfig::Default().IsEnabled(rule_id);
+  // Injected recompile errors: pure per (job, rule), so the parallel
+  // pre-evaluation cache and any inline evaluation reach the same verdict.
+  if (injector != nullptr && injector->armed() &&
+      injector->ShouldInject(
+          guard::FaultSite::kCompile, job.row.day,
+          HashString(job.row.job_id) ^
+              (static_cast<uint64_t>(rule_id) * 0x9e3779b97f4a7c15ULL))) {
+    e.outcome = RecompileOutcome::kRecompileFailure;
+    e.est_cost_new = 0.0;
+    e.reward = 0.0;
+    e.fault_injected = true;
+    return e;
+  }
   // CompileShared: a repeated evaluation of this flip (across pre-evaluation,
   // the bandit loop and later experiment passes) is an O(1) cache hit.
   auto recompiled = engine.CompileShared(
@@ -91,6 +107,7 @@ Recommendation MaterializeFlip(const JobFeatures& job, int rule_id,
   rec.est_cost_new = e.est_cost_new;
   rec.outcome = e.outcome;
   rec.reward = e.reward;
+  rec.fault_injected = e.fault_injected;
   return rec;
 }
 
@@ -98,8 +115,12 @@ Recommendation MaterializeFlip(const JobFeatures& job, int rule_id,
 
 Recommender::Recommender(const engine::ScopeEngine* engine,
                          bandit::PersonalizerService* personalizer,
-                         RecommenderConfig config)
-    : engine_(engine), personalizer_(personalizer), config_(config) {}
+                         RecommenderConfig config,
+                         const guard::FaultInjector* injector)
+    : engine_(engine),
+      personalizer_(personalizer),
+      config_(config),
+      injector_(injector) {}
 
 std::vector<bandit::RankableAction> Recommender::BuildActions(
     const BitVector256& span) {
@@ -128,7 +149,7 @@ Recommendation Recommender::EvaluateFlip(const JobFeatures& job,
   }
   return MaterializeFlip(
       job, rule_id,
-      EvaluateFlipCore(*engine_, config_.reward_clip, job, rule_id),
+      EvaluateFlipCore(*engine_, config_.reward_clip, job, rule_id, injector_),
       est_cost_default);
 }
 
@@ -151,7 +172,7 @@ std::vector<Recommendation> Recommender::RecommendDay(
           std::map<int, FlipEval> flips;
           for (int bit : jobs[i].span.Positions()) {
             flips.emplace(bit, EvaluateFlipCore(*engine_, config_.reward_clip,
-                                                jobs[i], bit));
+                                                jobs[i], bit, injector_));
           }
           return flips;
         });
@@ -197,7 +218,16 @@ std::vector<Recommendation> Recommender::RecommendDay(
       if (log_rank.ok()) {
         int rule = RuleIdOfAction(span_bits, log_rank->chosen_index);
         Recommendation probe = evaluate(job_index, job, rule);
-        if (!personalizer_->Reward(log_rank->event_id, probe.reward).ok()) {
+        if (probe.fault_injected) ++local.faults_injected;
+        // Injected reward-join drops: the probe ran but its outcome never
+        // made it back to the learner (paper Sec. 4.2's reward join going
+        // stale). The event stays unrewarded in the log.
+        if (injector_ != nullptr && injector_->armed() &&
+            injector_->ShouldInject(guard::FaultSite::kRewardJoin, day,
+                                    log_rank->event_id)) {
+          ++local.rewards_dropped;
+        } else if (!personalizer_->Reward(log_rank->event_id,
+                                          probe.reward).ok()) {
           ++local.reward_failures;
         }
       }
@@ -220,6 +250,7 @@ std::vector<Recommendation> Recommender::RecommendDay(
       continue;
     }
     Recommendation rec = evaluate(job_index, job, rule);
+    if (rec.fault_injected) ++local.faults_injected;
     switch (rec.outcome) {
       case RecompileOutcome::kLowerCost:
         ++local.lower_cost;

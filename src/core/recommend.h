@@ -14,6 +14,7 @@
 
 #include "bandit/personalizer.h"
 #include "core/feature_gen.h"
+#include "guard/fault_injector.h"
 
 namespace qo::runtime {
 class ParallelRuntime;
@@ -41,6 +42,8 @@ struct Recommendation {
   double est_cost_new = 0.0;
   RecompileOutcome outcome = RecompileOutcome::kEqualCost;
   double reward = 1.0;  ///< clipped default/new cost ratio
+  /// True when the outcome was forced by the fault injector (chaos runs).
+  bool fault_injected = false;
   /// Copy of the instance + span for downstream stages.
   workload::JobInstance instance;
   BitVector256 span;
@@ -82,15 +85,24 @@ struct RecommenderStats {
   /// Reward() calls the Personalizer rejected (should be zero: every probe
   /// rewards its own freshly ranked event).
   size_t reward_failures = 0;
+  /// Chaos-run bookkeeping: recompile failures forced by the fault injector
+  /// (a subset of recompile_failures) and reward joins it dropped.
+  size_t faults_injected = 0;
+  size_t rewards_dropped = 0;
 };
 
 /// The Recommendation task. Holds the Personalizer handle; one instance
 /// lives across pipeline days so the policy keeps learning.
 class Recommender {
  public:
+  /// `injector` (not owned, may be null) injects deterministic recompile
+  /// errors per (job, rule) and drops reward joins per event — the chaos
+  /// faults of the Recommendation boundary. Decisions are pure, so the
+  /// parallel flip pre-evaluation and the serial loop agree byte-for-byte.
   Recommender(const engine::ScopeEngine* engine,
               bandit::PersonalizerService* personalizer,
-              RecommenderConfig config = {});
+              RecommenderConfig config = {},
+              const guard::FaultInjector* injector = nullptr);
 
   /// Processes one day of featurized jobs. Returns recommendations that
   /// survived pruning (candidates for flighting).
@@ -125,6 +137,7 @@ class Recommender {
   const engine::ScopeEngine* engine_;
   bandit::PersonalizerService* personalizer_;
   RecommenderConfig config_;
+  const guard::FaultInjector* injector_;
 };
 
 }  // namespace qo::advisor

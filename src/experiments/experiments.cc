@@ -109,7 +109,8 @@ ExperimentEnv::ExperimentEnv(ExperimentConfig config)
                .jobs_per_day = config.jobs_per_day,
                .seed = config.seed}),
       engine_({}, {}, HarnessCacheOptions(config), HarnessExecOptions(config)),
-      runtime_(HarnessRuntimeOptions(config)) {}
+      runtime_(HarnessRuntimeOptions(config)),
+      injector_(config.faults) {}
 
 ExperimentEnv::~ExperimentEnv() {
   // Emitted here rather than at process exit: the engine's collector is
@@ -137,9 +138,20 @@ telemetry::WorkloadView ExperimentEnv::BuildDayView(
       [](size_t i) { return static_cast<double>(i); },
       [&](size_t i) -> Result<engine::JobRunResult> {
         const workload::JobInstance& job = jobs[i];
-        opt::RuleConfig config =
-            sis != nullptr ? sis->ConfigForTemplate(job.template_name)
-                           : opt::RuleConfig::Default();
+        bool hinted =
+            sis != nullptr && sis->LookupHint(job.template_name).has_value();
+        opt::RuleConfig config = hinted
+                                     ? sis->ConfigForTemplate(job.template_name)
+                                     : opt::RuleConfig::Default();
+        // Injected steered-compile failure: the hinted configuration fails
+        // on this occurrence, SCOPE falls back to the default plan. Pure per
+        // (day, job), so the atomic total is thread-count-independent.
+        if (hinted && injector_.armed() &&
+            injector_.ShouldInject(guard::FaultSite::kCompile, day,
+                                   job.job_id)) {
+          config = opt::RuleConfig::Default();
+          steered_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        }
         auto result = engine_.Run(job, config, static_cast<uint64_t>(day));
         if (!result.ok()) {
           // A hinted configuration may fail on a drifted occurrence; SCOPE
@@ -151,8 +163,20 @@ telemetry::WorkloadView ExperimentEnv::BuildDayView(
       },
       [&](size_t i, Result<engine::JobRunResult>&& result) {
         if (!result.ok()) return;
+        exec::JobMetrics metrics = result->metrics;
+        // Injected hint regression: sticky per template (day-independent
+        // key), modeling a hint that is genuinely bad in production — every
+        // steered occurrence runs inflated until the watchdog reverts it.
+        if (sis != nullptr && injector_.armed() &&
+            sis->LookupHint(jobs[i].template_name).has_value() &&
+            injector_.ShouldInject(guard::FaultSite::kHintRegression,
+                                   /*day=*/0, jobs[i].template_name)) {
+          metrics.pn_hours *= injector_.config().hint_regression_factor;
+          metrics.latency_sec *= injector_.config().hint_regression_factor;
+          ++regressions_injected_;
+        }
         view.rows.push_back(telemetry::MakeViewRow(
-            jobs[i], *result->compilation, result->metrics));
+            jobs[i], *result->compilation, metrics));
       });
   return view;
 }
@@ -614,7 +638,12 @@ CostFilterAblationResult RunCostFilterAblation(const ExperimentEnv& env,
     }
     auto flights = flighting.FlightBatch(std::move(requests), 99);
     for (const auto& fl : flights) {
-      if (fl.outcome == flight::FlightOutcome::kTimeout) ++(*timeouts);
+      // "Timeouts" in the Sec. 5.2 sense: jobs the budget could not serve —
+      // per-job timeouts plus outright budget rejections.
+      if (fl.outcome == flight::FlightOutcome::kTimeout ||
+          fl.outcome == flight::FlightOutcome::kBudgetRejected) {
+        ++(*timeouts);
+      }
     }
     *budget = flighting.budget_used_hours();
   };

@@ -5,6 +5,8 @@
 #ifndef QO_EXPERIMENTS_EXPERIMENTS_H_
 #define QO_EXPERIMENTS_EXPERIMENTS_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "core/pipeline.h"
 #include "engine/engine.h"
 #include "flighting/flighting.h"
+#include "guard/fault_injector.h"
 #include "runtime/runtime.h"
 #include "sis/sis.h"
 #include "telemetry/workload_view.h"
@@ -37,6 +40,11 @@ struct ExperimentConfig {
   /// legacy per-run decomposition, 1 forces prepared execution. Results are
   /// byte-identical for every value.
   int prepared_exec = -1;
+  /// Chaos faults for the production-day simulation: injected steered-run
+  /// compile failures (falling back to the default config, as SCOPE does)
+  /// and sticky hinted regressions (the watchdog's prey). Defaults read the
+  /// QO_FAULT_* knobs; with those unset this is inert.
+  guard::FaultConfig faults = guard::FaultConfig::FromEnv();
 };
 
 /// Shared environment: workload + engine + helpers to execute a day and
@@ -75,11 +83,25 @@ class ExperimentEnv {
   telemetry::WorkloadView BuildDayView(
       int day, const sis::StatsInsightService* sis = nullptr) const;
 
+  const guard::FaultInjector& fault_injector() const { return injector_; }
+  /// Steered production runs that fell back to the default configuration
+  /// because of an injected compile failure (cumulative across days).
+  uint64_t steered_fallbacks() const { return steered_fallbacks_; }
+  /// Steered production runs whose metrics were inflated by a sticky
+  /// injected hint regression (cumulative across days).
+  uint64_t regressions_injected() const { return regressions_injected_; }
+
  private:
   ExperimentConfig config_;
   workload::WorkloadDriver driver_;
   engine::ScopeEngine engine_;
   mutable runtime::ParallelRuntime runtime_;
+  guard::FaultInjector injector_;
+  /// Atomic: bumped from the parallel run lambda, but the total is
+  /// deterministic because every injection decision is pure.
+  mutable std::atomic<uint64_t> steered_fallbacks_{0};
+  /// Bumped only at the ordered commit (calling thread).
+  mutable uint64_t regressions_injected_ = 0;
 };
 
 // ---------------------------------------------------------------------------

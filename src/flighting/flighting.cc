@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/hash.h"
 #include "obs/span.h"
 
 namespace qo::flight {
@@ -16,9 +17,9 @@ struct Provisional {
   bool ran = false;
 };
 
-FlightResult TimedOut(const std::string& job_id) {
+FlightResult BudgetRejected(const std::string& job_id) {
   FlightResult r;
-  r.outcome = FlightOutcome::kTimeout;
+  r.outcome = FlightOutcome::kBudgetRejected;
   r.job_id = job_id;
   return r;
 }
@@ -35,16 +36,20 @@ const char* FlightOutcomeToString(FlightOutcome o) {
       return "timeout";
     case FlightOutcome::kFiltered:
       return "filtered";
+    case FlightOutcome::kBudgetRejected:
+      return "budget_rejected";
   }
   return "unknown";
 }
 
 FlightingService::FlightingService(const engine::ScopeEngine* engine,
                                    FlightingConfig config,
-                                   runtime::ParallelRuntime* runtime)
+                                   runtime::ParallelRuntime* runtime,
+                                   const guard::FaultInjector* injector)
     : engine_(engine),
       config_(config),
       runtime_(runtime),
+      injector_(injector),
       gate_(config.total_budget_machine_hours) {}
 
 FlightResult FlightingService::RunFlight(const FlightRequest& request,
@@ -58,7 +63,17 @@ FlightResult FlightingService::RunFlight(const FlightRequest& request,
   // fan out without reordering anyone else's draws.
   Rng rng(config_.seed + 0x9e3779b97f4a7c15ULL * (run_salt + 1));
 
-  // Environmental failures happen before any machine time is spent.
+  // Environmental failures happen before any machine time is spent. The
+  // injected variety redraws per (job, salt), so a guard-layer retry under a
+  // fresh salt can genuinely recover from a transient failure.
+  if (injector_ != nullptr && injector_->armed() &&
+      injector_->ShouldInject(guard::FaultSite::kFlightFailure,
+                              request.job.day,
+                              HashString(request.job.job_id) ^ run_salt)) {
+    result.outcome = FlightOutcome::kFailure;
+    result.fault_injected = true;
+    return result;
+  }
   if (rng.Bernoulli(config_.failure_prob)) {
     result.outcome = FlightOutcome::kFailure;
     return result;
@@ -89,6 +104,16 @@ FlightResult FlightingService::RunFlight(const FlightRequest& request,
     result.outcome = FlightOutcome::kTimeout;
     return result;
   }
+  // Injected timeout storms: the arms ran (machine time was burned) but the
+  // flight never reported back in time.
+  if (injector_ != nullptr && injector_->armed() &&
+      injector_->ShouldInject(guard::FaultSite::kFlightTimeout,
+                              request.job.day,
+                              HashString(request.job.job_id) ^ run_salt)) {
+    result.outcome = FlightOutcome::kTimeout;
+    result.fault_injected = true;
+    return result;
+  }
   result.outcome = FlightOutcome::kSuccess;
   result.pn_hours_delta =
       exec::RelativeDelta(cand->metrics.pn_hours, base->metrics.pn_hours);
@@ -110,7 +135,7 @@ Result<FlightResult> FlightingService::FlightOne(const FlightRequest& request,
     return Status::ResourceExhausted("flighting budget exhausted");
   }
   FlightResult result = RunFlight(request, run_salt);
-  CountOutcome(result.outcome);
+  CountOutcome(result.outcome, result.fault_injected);
   if (result.outcome == FlightOutcome::kFailure ||
       result.outcome == FlightOutcome::kFiltered) {
     return result;  // no machine time consumed
@@ -145,7 +170,7 @@ std::vector<FlightResult> FlightingService::FlightBatch(
   auto work = [&](size_t i) -> Provisional {
     Provisional p;
     if (gate_.Exhausted()) {
-      p.result = TimedOut(requests[i].job.job_id);
+      p.result = BudgetRejected(requests[i].job.job_id);
       return p;
     }
     p.result = RunFlight(requests[i], run_salt + i);
@@ -164,22 +189,22 @@ std::vector<FlightResult> FlightingService::FlightBatch(
   auto commit = [&](size_t i, Provisional&& p) {
     if (gate_.Exhausted()) {
       if (p.ran) gate_.Refund(p.result.machine_hours);
-      results.push_back(TimedOut(requests[i].job.job_id));
-      CountOutcome(FlightOutcome::kTimeout);
+      results.push_back(BudgetRejected(requests[i].job.job_id));
+      CountOutcome(FlightOutcome::kBudgetRejected);
       return;
     }
     if (!p.ran) {  // environmental failure or filtered: refunded up front
-      CountOutcome(p.result.outcome);
+      CountOutcome(p.result.outcome, p.result.fault_injected);
       results.push_back(std::move(p.result));
       return;
     }
     if (!gate_.CommitReserved(p.result.machine_hours)) {
       // Admitting this flight would overspend the budget.
-      results.push_back(TimedOut(requests[i].job.job_id));
-      CountOutcome(FlightOutcome::kTimeout);
+      results.push_back(BudgetRejected(requests[i].job.job_id));
+      CountOutcome(FlightOutcome::kBudgetRejected);
       return;
     }
-    CountOutcome(p.result.outcome);
+    CountOutcome(p.result.outcome, p.result.fault_injected);
     results.push_back(std::move(p.result));
   };
 
@@ -211,7 +236,9 @@ Result<std::vector<exec::JobMetrics>> FlightingService::RunAA(
   return metrics;
 }
 
-void FlightingService::CountOutcome(FlightOutcome outcome) {
+void FlightingService::CountOutcome(FlightOutcome outcome,
+                                    bool fault_injected) {
+  if (fault_injected) ++flights_fault_injected_;
   switch (outcome) {
     case FlightOutcome::kSuccess:
       ++flights_success_;
@@ -225,6 +252,9 @@ void FlightingService::CountOutcome(FlightOutcome outcome) {
     case FlightOutcome::kFiltered:
       ++flights_filtered_;
       break;
+    case FlightOutcome::kBudgetRejected:
+      ++flights_budget_rejected_;
+      break;
   }
 }
 
@@ -232,7 +262,13 @@ telemetry::FlightTelemetry FlightingService::telemetry() const {
   telemetry::FlightTelemetry t;
   t.flights_success = flights_success_;
   t.flights_failure = flights_failure_;
-  t.flights_timeout = flights_timeout_;
+  // Legacy total: per-job timeouts and budget rejections were one counter
+  // before the outcomes were split; the snapshot keeps the sum stable and
+  // exposes the split alongside.
+  t.flights_timeout = flights_timeout_ + flights_budget_rejected_;
+  t.flights_timeout_per_job = flights_timeout_;
+  t.flights_budget_rejected = flights_budget_rejected_;
+  t.flights_fault_injected = flights_fault_injected_;
   t.flights_filtered = flights_filtered_;
   t.batches = batches_;
   t.aa_runs = aa_runs_;

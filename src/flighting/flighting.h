@@ -25,6 +25,7 @@
 #include "common/status.h"
 #include "engine/engine.h"
 #include "exec/metrics.h"
+#include "guard/fault_injector.h"
 #include "optimizer/rules.h"
 #include "runtime/budget_gate.h"
 #include "runtime/runtime.h"
@@ -35,9 +36,10 @@ namespace qo::flight {
 
 enum class FlightOutcome {
   kSuccess,
-  kFailure,   ///< job information or input data expired
-  kTimeout,   ///< exceeded the per-job time cap, or budget ran out first
-  kFiltered,  ///< job class not supported by the service
+  kFailure,         ///< job information or input data expired
+  kTimeout,         ///< exceeded the per-job flighting time cap
+  kFiltered,        ///< job class not supported by the service
+  kBudgetRejected,  ///< never admitted: the machine-hour budget ran out
 };
 
 const char* FlightOutcomeToString(FlightOutcome o);
@@ -66,6 +68,8 @@ struct FlightResult {
   double data_written_delta = 0.0;
   /// Machine-hours consumed by this flight (both arms).
   double machine_hours = 0.0;
+  /// True when the outcome was forced by the fault injector (chaos runs).
+  bool fault_injected = false;
 };
 
 struct FlightingConfig {
@@ -83,9 +87,15 @@ struct FlightingConfig {
 class FlightingService {
  public:
   /// `runtime` may be null (serial). The service does not own it.
+  /// `injector` (not owned, may be null) adds deterministic flight-level
+  /// faults: environment failures before any machine time is spent, and
+  /// per-job timeouts after the arms ran. Decisions are pure per
+  /// (job, run_salt), so chaos batches stay byte-identical at any thread
+  /// count — and a retry under a fresh salt redraws its fate.
   FlightingService(const engine::ScopeEngine* engine,
                    FlightingConfig config = {},
-                   runtime::ParallelRuntime* runtime = nullptr);
+                   runtime::ParallelRuntime* runtime = nullptr,
+                   const guard::FaultInjector* injector = nullptr);
 
   /// Flights one request now (ignores the queue; still consumes budget).
   /// ResourceExhausted when the budget is already spent. Legacy admission:
@@ -95,7 +105,8 @@ class FlightingService {
 
   /// Accepts up to queue_capacity requests, orders them by estimated-cost
   /// delta (most promising first, Sec. 4.3), and flights until the machine-
-  /// hour budget runs out; requests that never ran report kTimeout. Flights
+  /// hour budget runs out; requests that never ran report kBudgetRejected.
+  /// Flights
   /// fan out across the runtime's pool when one is attached; admission is
   /// decided at an ordered commit, so results are byte-identical for any
   /// thread count and committed spend never exceeds the budget.
@@ -129,11 +140,12 @@ class FlightingService {
                          uint64_t run_salt) const;
 
   /// Commit-side outcome bookkeeping (calling thread only).
-  void CountOutcome(FlightOutcome outcome);
+  void CountOutcome(FlightOutcome outcome, bool fault_injected = false);
 
   const engine::ScopeEngine* engine_;
   FlightingConfig config_;
   runtime::ParallelRuntime* runtime_;
+  const guard::FaultInjector* injector_;
   runtime::BudgetGate gate_;
   // Mutated only on the service's calling thread (the batch commit runs
   // there), so plain integers suffice.
@@ -141,6 +153,8 @@ class FlightingService {
   uint64_t flights_failure_ = 0;
   uint64_t flights_timeout_ = 0;
   uint64_t flights_filtered_ = 0;
+  uint64_t flights_budget_rejected_ = 0;
+  uint64_t flights_fault_injected_ = 0;
   uint64_t batches_ = 0;
   uint64_t aa_runs_ = 0;
 };

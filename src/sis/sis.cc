@@ -24,29 +24,63 @@ std::string HintFile::Serialize() const {
   return out;
 }
 
+namespace {
+
+/// Strict non-negative integer parse: every character a digit, value within
+/// [0, limit). Rejects what std::atoi silently accepts (trailing garbage,
+/// empty fields, overflow).
+bool ParseBoundedInt(const std::string& s, int limit, int* out) {
+  if (s.empty() || s.size() > 9) return false;
+  long v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  if (v >= limit) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
 Result<HintFile> HintFile::Parse(const std::string& text) {
   HintFile file;
   std::istringstream in(text);
   std::string line;
   bool saw_header = false;
+  std::set<std::string> seen;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     if (line[0] == '#') {
       auto pos = line.find("day=");
-      if (pos != std::string::npos) {
-        file.day = std::atoi(line.c_str() + pos + 4);
+      if (pos == std::string::npos ||
+          !ParseBoundedInt(line.substr(pos + 4), 1 << 30, &file.day)) {
+        return Status::ParseError("malformed hint file header: " + line);
+      }
+      if (saw_header) {
+        return Status::ParseError("duplicate hint file header");
       }
       saw_header = true;
       continue;
     }
+    if (!saw_header) {
+      return Status::ParseError("hint row before header: " + line);
+    }
     auto c1 = line.find(',');
-    auto c2 = line.rfind(',');
-    if (c1 == std::string::npos || c2 == c1) {
+    auto c2 = line.find(',', c1 == std::string::npos ? c1 : c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos ||
+        line.find(',', c2 + 1) != std::string::npos) {
       return Status::ParseError("malformed hint row: " + line);
     }
     HintEntry e;
     e.template_name = line.substr(0, c1);
-    e.rule_id = std::atoi(line.substr(c1 + 1, c2 - c1 - 1).c_str());
+    if (e.template_name.empty()) {
+      return Status::ParseError("hint row with empty template: " + line);
+    }
+    if (!ParseBoundedInt(line.substr(c1 + 1, c2 - c1 - 1),
+                         opt::RuleRegistry::kNumRules, &e.rule_id)) {
+      return Status::ParseError("bad rule id in hint row: " + line);
+    }
     std::string dir = line.substr(c2 + 1);
     if (dir == "on") {
       e.enable = true;
@@ -54,6 +88,10 @@ Result<HintFile> HintFile::Parse(const std::string& text) {
       e.enable = false;
     } else {
       return Status::ParseError("bad flip direction: " + dir);
+    }
+    if (!seen.insert(e.template_name).second) {
+      return Status::ParseError("duplicate template in hint file: " +
+                                e.template_name);
     }
     file.entries.push_back(std::move(e));
   }
@@ -90,6 +128,11 @@ Result<int> StatsInsightService::UploadHintFile(const HintFile& file) {
   }
   ++version_;
   history_.push_back(file);
+  while (config_.history_retention > 0 &&
+         history_.size() > config_.history_retention) {
+    history_.pop_front();
+    ++history_dropped_;
+  }
   for (const HintEntry& e : file.entries) {
     active_[e.template_name] = e;
   }

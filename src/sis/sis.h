@@ -7,6 +7,7 @@
 #ifndef QO_SIS_SIS_H_
 #define QO_SIS_SIS_H_
 
+#include <deque>
 #include <map>
 #include <optional>
 #include <string>
@@ -35,13 +36,28 @@ struct HintFile {
 
   /// Text format: one "template,rule_id,on|off" row per line, with a header.
   std::string Serialize() const;
+  /// Strict parser: requires the "# ... day=N" header, exactly three fields
+  /// per row, a numeric in-range rule id, an "on"/"off" direction and no
+  /// duplicate templates. ParseError on garbage lines, truncated rows and
+  /// every other malformation — corrupt files are rejected whole, never
+  /// partially installed. Round-trips Serialize() exactly.
   static Result<HintFile> Parse(const std::string& text);
+};
+
+struct SisConfig {
+  /// Hint-file versions retained in history(); older files are dropped from
+  /// the front (0 = unbounded). current_version() and the monotonic
+  /// counters are unaffected by trimming, as are active hints.
+  size_t history_retention = 128;
 };
 
 /// The service: stores versioned hint files and serves the effective hint
 /// for a template (the newest version wins).
 class StatsInsightService {
  public:
+  StatsInsightService() = default;
+  explicit StatsInsightService(SisConfig config) : config_(config) {}
+
   /// Validates and installs a hint file as the next version.
   /// InvalidArgument for malformed entries (unknown rule id, duplicate
   /// template, flip that matches the default — i.e. a no-op hint).
@@ -60,16 +76,21 @@ class StatsInsightService {
 
   int current_version() const { return version_; }
   size_t active_hints() const { return active_.size(); }
-  const std::vector<HintFile>& history() const { return history_; }
+  /// Retained versions only (bounded by SisConfig::history_retention).
+  const std::deque<HintFile>& history() const { return history_; }
+  /// Versions trimmed out of history() by the retention window (monotonic).
+  size_t history_dropped() const { return history_dropped_; }
   /// Hint entries installed across every uploaded version (monotonic).
   size_t total_hints_uploaded() const { return hints_uploaded_; }
   /// Hints rolled back via RevertHint (monotonic).
   size_t hints_reverted() const { return hints_reverted_; }
 
  private:
+  SisConfig config_;
   int version_ = 0;
-  std::vector<HintFile> history_;
+  std::deque<HintFile> history_;
   std::map<std::string, HintEntry> active_;
+  size_t history_dropped_ = 0;
   size_t hints_uploaded_ = 0;
   size_t hints_reverted_ = 0;
 };

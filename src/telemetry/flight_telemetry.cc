@@ -9,12 +9,14 @@ std::string FlightTelemetry::ToString() const {
   std::snprintf(
       line, sizeof(line),
       "flighting:\n"
-      "  success=%llu failure=%llu timeout=%llu filtered=%llu "
-      "batches=%llu aa_runs=%llu\n"
+      "  success=%llu failure=%llu timeout=%llu (per_job=%llu "
+      "budget_rejected=%llu) filtered=%llu batches=%llu aa_runs=%llu\n"
       "  budget=%.1f/%.1f machine-hours (%.1f%%)\n",
       static_cast<unsigned long long>(flights_success),
       static_cast<unsigned long long>(flights_failure),
       static_cast<unsigned long long>(flights_timeout),
+      static_cast<unsigned long long>(flights_timeout_per_job),
+      static_cast<unsigned long long>(flights_budget_rejected),
       static_cast<unsigned long long>(flights_filtered),
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(aa_runs), budget_used_hours,
@@ -26,6 +28,12 @@ void ExportSeries(const FlightTelemetry& t, obs::SeriesSink& sink) {
   sink.Add("flight.success", static_cast<double>(t.flights_success));
   sink.Add("flight.failure", static_cast<double>(t.flights_failure));
   sink.Add("flight.timeout", static_cast<double>(t.flights_timeout));
+  sink.Add("flight.timeout_per_job",
+           static_cast<double>(t.flights_timeout_per_job));
+  sink.Add("flight.budget_rejected",
+           static_cast<double>(t.flights_budget_rejected));
+  sink.Add("flight.fault_injected",
+           static_cast<double>(t.flights_fault_injected));
   sink.Add("flight.filtered", static_cast<double>(t.flights_filtered));
   sink.Add("flight.batches", static_cast<double>(t.batches));
   sink.Add("flight.aa_runs", static_cast<double>(t.aa_runs));

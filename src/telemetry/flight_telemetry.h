@@ -20,7 +20,12 @@ namespace qo::telemetry {
 struct FlightTelemetry {
   uint64_t flights_success = 0;
   uint64_t flights_failure = 0;
-  uint64_t flights_timeout = 0;   ///< per-job timeouts + budget rejections
+  /// Legacy total: per-job timeouts + budget rejections (the pre-split
+  /// counter; kept as the sum so long-lived consumers see stable numbers).
+  uint64_t flights_timeout = 0;
+  uint64_t flights_timeout_per_job = 0;   ///< real per-job flight timeouts
+  uint64_t flights_budget_rejected = 0;   ///< never admitted: budget ran out
+  uint64_t flights_fault_injected = 0;    ///< outcomes forced by chaos faults
   uint64_t flights_filtered = 0;
   uint64_t batches = 0;           ///< FlightBatch calls
   uint64_t aa_runs = 0;           ///< individual A/A executions

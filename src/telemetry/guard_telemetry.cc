@@ -1,0 +1,65 @@
+#include "telemetry/guard_telemetry.h"
+
+#include <cstdio>
+
+namespace qo::telemetry {
+
+std::string GuardTelemetry::ToString() const {
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "guardrails:\n"
+      "  watchdog: reverts=%llu quarantines=%llu blocked=%llu\n"
+      "  breakers: global_trips=%llu template_trips=%llu disabled_days=%llu "
+      "template_blocked=%llu\n"
+      "  degradation: retries=%llu recoveries=%llu hint_files_rejected=%llu\n"
+      "  faults: compile=%llu flight=%llu hint_file=%llu reward=%llu "
+      "telemetry=%llu\n",
+      static_cast<unsigned long long>(watchdog_reverts),
+      static_cast<unsigned long long>(watchdog_quarantines),
+      static_cast<unsigned long long>(quarantine_blocked),
+      static_cast<unsigned long long>(breaker_trips_global),
+      static_cast<unsigned long long>(breaker_trips_template),
+      static_cast<unsigned long long>(steering_disabled_days),
+      static_cast<unsigned long long>(template_blocked),
+      static_cast<unsigned long long>(flight_retries),
+      static_cast<unsigned long long>(flight_recoveries),
+      static_cast<unsigned long long>(hint_files_rejected),
+      static_cast<unsigned long long>(faults_compile),
+      static_cast<unsigned long long>(faults_flight),
+      static_cast<unsigned long long>(faults_hint_file),
+      static_cast<unsigned long long>(faults_reward_drop),
+      static_cast<unsigned long long>(faults_telemetry_drop));
+  return line;
+}
+
+void ExportSeries(const GuardTelemetry& t, obs::SeriesSink& sink) {
+  sink.Add("guard.watchdog_reverts",
+           static_cast<double>(t.watchdog_reverts));
+  sink.Add("guard.watchdog_quarantines",
+           static_cast<double>(t.watchdog_quarantines));
+  sink.Add("guard.quarantine_blocked",
+           static_cast<double>(t.quarantine_blocked));
+  sink.Add("guard.breaker_trips_global",
+           static_cast<double>(t.breaker_trips_global));
+  sink.Add("guard.breaker_trips_template",
+           static_cast<double>(t.breaker_trips_template));
+  sink.Add("guard.steering_disabled_days",
+           static_cast<double>(t.steering_disabled_days));
+  sink.Add("guard.template_blocked", static_cast<double>(t.template_blocked));
+  sink.Add("guard.flight_retries", static_cast<double>(t.flight_retries));
+  sink.Add("guard.flight_recoveries",
+           static_cast<double>(t.flight_recoveries));
+  sink.Add("guard.hint_files_rejected",
+           static_cast<double>(t.hint_files_rejected));
+  sink.Add("guard.faults_compile", static_cast<double>(t.faults_compile));
+  sink.Add("guard.faults_flight", static_cast<double>(t.faults_flight));
+  sink.Add("guard.faults_hint_file", static_cast<double>(t.faults_hint_file));
+  sink.Add("guard.faults_reward_drop",
+           static_cast<double>(t.faults_reward_drop));
+  sink.Add("guard.faults_telemetry_drop",
+           static_cast<double>(t.faults_telemetry_drop));
+  sink.Add("guard.faults_injected", static_cast<double>(t.faults_injected()));
+}
+
+}  // namespace qo::telemetry

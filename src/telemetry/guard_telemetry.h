@@ -1,0 +1,55 @@
+// Telemetry counters for the guardrail layer (src/guard/): injected
+// faults the pipeline acted on, watchdog reverts and quarantines, circuit
+// breaker trips and the graceful-degradation recovery traffic.
+//
+// Same shape as the other telemetry surfaces: SteeringGuard keeps the
+// counters, this header defines the snapshot (day reports, tests) plus the
+// registry exporter.
+#ifndef QO_TELEMETRY_GUARD_TELEMETRY_H_
+#define QO_TELEMETRY_GUARD_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace qo::telemetry {
+
+/// Snapshot of one pipeline's guardrail activity (all counters monotonic;
+/// mutated only on the pipeline's serial commit path).
+struct GuardTelemetry {
+  // Watchdog.
+  uint64_t watchdog_reverts = 0;      ///< hints auto-reverted on regression
+  uint64_t watchdog_quarantines = 0;  ///< (template, rule) pairs quarantined
+  uint64_t quarantine_blocked = 0;    ///< recommendations blocked by cool-down
+  // Circuit breakers.
+  uint64_t breaker_trips_global = 0;
+  uint64_t breaker_trips_template = 0;
+  uint64_t steering_disabled_days = 0;  ///< days the global breaker was open
+  uint64_t template_blocked = 0;  ///< candidates dropped by open breakers
+  // Graceful degradation.
+  uint64_t flight_retries = 0;
+  uint64_t flight_recoveries = 0;  ///< retries that turned into success
+  uint64_t hint_files_rejected = 0;  ///< corrupt uploads caught by Parse/SIS
+  // Injected faults the pipeline acted on (commit-side counts).
+  uint64_t faults_compile = 0;
+  uint64_t faults_flight = 0;
+  uint64_t faults_hint_file = 0;
+  uint64_t faults_reward_drop = 0;
+  uint64_t faults_telemetry_drop = 0;
+
+  uint64_t faults_injected() const {
+    return faults_compile + faults_flight + faults_hint_file +
+           faults_reward_drop + faults_telemetry_drop;
+  }
+
+  /// Human-readable multi-line dump for demos and debugging.
+  std::string ToString() const;
+};
+
+/// Exports the snapshot as registry series ("guard.watchdog_reverts", ...).
+void ExportSeries(const GuardTelemetry& t, obs::SeriesSink& sink);
+
+}  // namespace qo::telemetry
+
+#endif  // QO_TELEMETRY_GUARD_TELEMETRY_H_

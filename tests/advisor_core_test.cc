@@ -297,7 +297,8 @@ TEST(PipelineTest, MultiDayRunProducesConsistentReportsAndHints) {
     ASSERT_TRUE(report.ok()) << report.status();
     // Report arithmetic must be internally consistent.
     EXPECT_EQ(report->flights_success + report->flights_failure +
-                  report->flights_timeout + report->flights_filtered,
+                  report->flights_timeout + report->flights_filtered +
+                  report->flights_budget_rejected,
               report->flight_requests);
     EXPECT_LE(report->validated, report->flights_success);
     EXPECT_LE(report->hints_uploaded, report->validated);

@@ -88,7 +88,7 @@ TEST(FlightingTest, BatchRespectsQueueCapacityAndOrdersByPromise) {
   EXPECT_EQ(results[0].job_id, jobs[2].job_id);
 }
 
-TEST(FlightingTest, BatchReportsTimeoutWhenBudgetRunsOut) {
+TEST(FlightingTest, BatchReportsBudgetRejectedWhenBudgetRunsOut) {
   engine::ScopeEngine engine;
   flight::FlightingConfig config;
   config.failure_prob = 0;
@@ -106,11 +106,15 @@ TEST(FlightingTest, BatchReportsTimeoutWhenBudgetRunsOut) {
   }
   auto results = service.FlightBatch(std::move(requests), 1);
   ASSERT_EQ(results.size(), 4u);
-  int timeouts = 0;
+  int rejected = 0;
   for (const auto& r : results) {
-    timeouts += r.outcome == flight::FlightOutcome::kTimeout;
+    rejected += r.outcome == flight::FlightOutcome::kBudgetRejected;
   }
-  EXPECT_GE(timeouts, 3);
+  EXPECT_GE(rejected, 3);
+  // Legacy telemetry keeps counting rejections in the timeout total.
+  EXPECT_EQ(service.telemetry().flights_timeout,
+            static_cast<uint64_t>(rejected));
+  EXPECT_EQ(service.telemetry().flights_timeout_per_job, 0u);
 }
 
 TEST(FlightingTest, AARunsProduceVaryingLatencies) {
