@@ -1,0 +1,286 @@
+// Sustained-load generator for the always-on advisor service.
+//
+//   ./build/bench/service_load [tenants] [ops_per_tenant]
+//
+// Drives `tenants` independent per-tenant request streams — each a seeded,
+// fully deterministic mix of rank -> reward, hint-aware compile, periodic
+// hint uploads and synchronous retrain/publish cycles — through one
+// AdvisorService, fanned out across the parallel runtime (QO_THREADS).
+//
+// Two deliverables per run:
+//
+//  1. Throughput + latency: sustained qps over the timed run plus p50/p99
+//     of the service's own registry histograms (service.rank_ns /
+//     service.compile_ns / service.request_ns). The figures also land in
+//     gauges (service.load.qps, service.load.wall_ms) and, when
+//     QO_OBS_REPORT is set, one JSONL run-report line for CI to parse.
+//
+//  2. Determinism: every tenant stream writes a transcript of
+//     scheduling-independent response fields (chosen actions, propensities,
+//     costs, hint/sis versions, snapshot sequences). The harness replays
+//     the identical streams against fresh services at 1 thread and at 4
+//     threads and asserts all transcripts byte-identical — the service-layer
+//     extension of the runtime's determinism contract. Exit 1 on mismatch.
+//
+// Snapshot timing is pinned by calling TrainAndPublish synchronously inside
+// each stream (the background trainer stays off), so snapshot sequences are
+// part of the deterministic transcript.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "optimizer/rules.h"
+#include "runtime/runtime.h"
+#include "service/advisor_service.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace qo;  // NOLINT
+
+/// Per-tenant deterministic request stream. Appends one line per operation
+/// to the returned transcript; every field is scheduling-independent.
+std::string RunTenantStream(service::AdvisorService& advisor, int tenant_idx,
+                            int ops) {
+  const std::string tenant = "tenant_" + std::to_string(tenant_idx);
+  auto session = advisor.Session(tenant);
+  if (!session.ok()) {
+    return "OPEN-FAILED: " + session.status().ToString() + "\n";
+  }
+
+  // A small recurring workload per tenant; the pool cycles so compiles mix
+  // cache hits with fresh template/config pairs.
+  workload::WorkloadDriver driver({.num_templates = 10,
+                                   .jobs_per_day = 24,
+                                   .recurring_fraction = 0.8,
+                                   .template_skew = 0.5,
+                                   .seed = 1000u + static_cast<uint64_t>(
+                                                       tenant_idx)});
+  std::vector<workload::JobInstance> pool;
+  for (int day = 0; day < 4; ++day) {
+    for (auto& job : driver.DayJobs(day)) pool.push_back(std::move(job));
+  }
+
+  const int kActionRules[] = {opt::rules::kBroadcastJoinAggressive,
+                              opt::rules::kEagerAggregationLeft,
+                              opt::rules::kFilterPushdownIntoJoinLeft,
+                              opt::rules::kFilterIntoScan};
+  Rng reward_rng(77u + static_cast<uint64_t>(tenant_idx));
+
+  std::string transcript;
+  transcript.reserve(static_cast<size_t>(ops) * 96);
+  char line[256];
+  for (int i = 0; i < ops; ++i) {
+    const workload::JobInstance& job =
+        pool[static_cast<size_t>(i) % pool.size()];
+
+    // Hint-steered compile (the SCOPE compile path of Fig. 1).
+    auto compiled = session->Compile(job);
+    if (!compiled.ok()) {
+      transcript += "compile-failed: " + compiled.status().ToString() + "\n";
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "c %d %.6f %d %d %d\n", i,
+                  compiled->compilation->est_cost,
+                  compiled->hint_applied ? 1 : 0, compiled->rule_id,
+                  compiled->sis_version);
+    transcript += line;
+
+    // Rank a rule flip for the job's template, then close the loop with a
+    // deterministic reward through the typed event id.
+    service::RankRequest rank;
+    rank.tenant = tenant;
+    rank.event_id = tenant + "-e" + std::to_string(i);
+    rank.context.AddNamed("tpl:" + job.template_name, 1.0);
+    rank.context.AddNamed("day:" + std::to_string(i / 24), 1.0);
+    for (int rule : kActionRules) {
+      bandit::RankableAction action;
+      action.action_id = "flip_" + std::to_string(rule);
+      action.features.AddNamed("rule:" + std::to_string(rule), 1.0);
+      rank.actions.push_back(std::move(action));
+    }
+    auto ranked = advisor.Rank(rank);
+    if (!ranked.ok()) {
+      transcript += "rank-failed: " + ranked.status().ToString() + "\n";
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "r %d %zu %s %.4f %llu\n", i,
+                  ranked->chosen_index, ranked->chosen_action_id.c_str(),
+                  ranked->probability,
+                  static_cast<unsigned long long>(ranked->snapshot_sequence));
+    transcript += line;
+
+    auto rewarded = session->Reward(ranked->event, reward_rng.Uniform());
+    if (!rewarded.ok()) {
+      transcript += "reward-failed: " + rewarded.status().ToString() + "\n";
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "w %d %zu\n", i,
+                  rewarded->rewarded_events);
+    transcript += line;
+
+    // Periodic hint publication: flip one action rule for this template.
+    if (i % 64 == 63) {
+      sis::HintFile hints;
+      hints.day = i / 64;
+      hints.entries.push_back(
+          {.template_name = job.template_name,
+           .rule_id = kActionRules[(i / 64) % 4],
+           .enable = true});
+      auto upload = session->UploadHints(hints);
+      if (upload.ok()) {
+        std::snprintf(line, sizeof(line), "u %d %d %zu %llu\n", i,
+                      upload->version, upload->active_hints,
+                      static_cast<unsigned long long>(
+                          upload->snapshot_sequence));
+      } else {
+        // Re-flipping an already-hinted template can be a valid rejection
+        // (no-op hint); the *status* is still deterministic, so log it.
+        std::snprintf(line, sizeof(line), "u %d rejected\n", i);
+      }
+      transcript += line;
+    }
+
+    // Synchronous retrain/publish pins snapshot timing into the stream.
+    if (i % 32 == 31) {
+      bool published = session->TrainAndPublish();
+      std::snprintf(line, sizeof(line), "t %d %d\n", i, published ? 1 : 0);
+      transcript += line;
+    }
+  }
+  return transcript;
+}
+
+/// Opens `tenants` tenants on a fresh service and runs every stream through
+/// `runtime`, one work item per tenant (per-tenant serialization by
+/// construction; cross-tenant parallelism up to the pool size).
+std::vector<std::string> RunAllStreams(service::AdvisorService& advisor,
+                                       runtime::ParallelRuntime& runtime,
+                                       int tenants, int ops) {
+  for (int t = 0; t < tenants; ++t) {
+    auto opened = advisor.OpenTenant("tenant_" + std::to_string(t));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open tenant %d failed: %s\n", t,
+                   opened.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return runtime.TransformOrdered<std::string>(
+      static_cast<size_t>(tenants),
+      /*shard_of=*/[](size_t i) { return static_cast<uint64_t>(i); },
+      /*priority_of=*/[](size_t i) { return static_cast<double>(i); },
+      /*work=*/
+      [&advisor, ops](size_t i) {
+        return RunTenantStream(advisor, static_cast<int>(i), ops);
+      });
+}
+
+void PrintQuantiles(const obs::MetricsSnapshot& snap, const char* name) {
+  const obs::HistogramSnapshot* h = snap.FindHistogram(name);
+  if (h == nullptr || h->total == 0) {
+    std::printf("  %-22s (empty)\n", name);
+    return;
+  }
+  std::printf("  %-22s count=%llu p50=%lluns p99=%lluns max=%lluns\n", name,
+              static_cast<unsigned long long>(h->total),
+              static_cast<unsigned long long>(h->Quantile(0.50)),
+              static_cast<unsigned long long>(h->Quantile(0.99)),
+              static_cast<unsigned long long>(h->MaxValue()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int tenants = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int ops = argc > 2 ? std::atoi(argv[2]) : 400;
+  if (tenants <= 0 || ops <= 0) {
+    std::fprintf(stderr, "usage: %s [tenants>0] [ops_per_tenant>0]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  // One env snapshot for the whole process. The background trainer is
+  // forced off: the bench pins retrain points inside the streams so
+  // transcripts stay deterministic.
+  service::AdvisorOptions options = service::AdvisorOptions::FromEnv();
+  options.retrain_period_ms = 0;
+
+  // --- Timed run at the env-configured thread count. -----------------------
+  std::printf("service_load: %d tenants x %d ops, %d thread(s)\n", tenants,
+              ops, options.runtime.num_threads);
+  runtime::ParallelRuntime timed_runtime(options.runtime);
+  std::vector<std::string> timed_transcripts;
+  uint64_t wall_ns = 0;
+  {
+    service::AdvisorService advisor(options);
+    const uint64_t start = obs::MonotonicNowNs();
+    timed_transcripts = RunAllStreams(advisor, timed_runtime, tenants, ops);
+    wall_ns = obs::MonotonicNowNs() - start;
+  }
+
+  // Each op issues one compile + one rank + one reward request.
+  const double total_requests = 3.0 * tenants * ops;
+  const double wall_sec = static_cast<double>(wall_ns) * 1e-9;
+  const double qps = wall_sec > 0 ? total_requests / wall_sec : 0.0;
+  std::printf("  wall %.3fs, %.0f requests, %.0f qps sustained\n", wall_sec,
+              total_requests, qps);
+
+  obs::MetricsSnapshot snap = obs::Registry::Get().Snapshot();
+  PrintQuantiles(snap, "service.rank_ns");
+  PrintQuantiles(snap, "service.compile_ns");
+  PrintQuantiles(snap, "service.request_ns");
+
+  if (obs::MetricsEnabled()) {
+    obs::Registry::Get().gauge("service.load.qps").Set(qps);
+    obs::Registry::Get().gauge("service.load.wall_ms").Set(wall_sec * 1e3);
+    obs::Registry::Get()
+        .gauge("service.load.requests")
+        .Set(total_requests);
+    if (auto writer = obs::RunReportWriter::FromEnv()) {
+      writer->Append(obs::RunReportJsonLine(
+          obs::ObsLabelFromEnv("service_load"), /*day=*/-1,
+          obs::Registry::Get().Snapshot()));
+      std::printf("  run report appended to %s\n", writer->path().c_str());
+    }
+  }
+
+  // --- Determinism: identical streams at 1 vs 4 threads. -------------------
+  auto replay = [&](int num_threads) {
+    service::AdvisorOptions replay_options = options;
+    replay_options.runtime.num_threads = num_threads;
+    runtime::ParallelRuntime rt(replay_options.runtime);
+    service::AdvisorService advisor(replay_options);
+    return RunAllStreams(advisor, rt, tenants, ops);
+  };
+  std::vector<std::string> serial = replay(1);
+  std::vector<std::string> parallel = replay(4);
+
+  int mismatches = 0;
+  for (int t = 0; t < tenants; ++t) {
+    const std::string& want = serial[static_cast<size_t>(t)];
+    if (parallel[static_cast<size_t>(t)] != want) {
+      std::printf("  tenant %d: 1-thread vs 4-thread transcripts DIFFER\n",
+                  t);
+      ++mismatches;
+    }
+    if (timed_transcripts[static_cast<size_t>(t)] != want) {
+      std::printf("  tenant %d: timed-run transcript DIFFERS from serial\n",
+                  t);
+      ++mismatches;
+    }
+  }
+  if (mismatches > 0) {
+    std::printf("determinism: FAILED (%d mismatching transcripts)\n",
+                mismatches);
+    return 1;
+  }
+  std::printf(
+      "determinism: OK — %d tenant streams byte-identical at 1, 4 and %d "
+      "thread(s)\n",
+      tenants, options.runtime.num_threads);
+  return 0;
+}

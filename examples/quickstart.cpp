@@ -1,6 +1,7 @@
-// Quickstart: compile a SCOPE-like script, inspect the plan / rule
-// signature / estimated cost, execute it on the simulated cluster, and steer
-// the optimizer with a single rule flip.
+// Quickstart: compile a SCOPE-like script through the advisor API, inspect
+// the plan / rule signature / estimated cost, execute it on the simulated
+// cluster, then steer the optimizer by uploading a hint — the same flow a
+// production tenant uses against the always-on AdvisorService.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -8,8 +9,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "engine/engine.h"
-#include "scope/compiler.h"
+#include "service/advisor_service.h"
 
 int main() {
   using namespace qo;  // NOLINT
@@ -55,44 +55,73 @@ int main() {
     OUTPUT by_country TO "store://out/revenue";
   )";
 
-  engine::ScopeEngine engine;
+  // 3. Stand up the advisor service (one env snapshot; Defaults() reads
+  //    nothing) and open a tenant — the tenant owns its engine, compile
+  //    cache, learner and hint store.
+  service::AdvisorService advisor(service::AdvisorOptions::FromEnv());
+  auto session = advisor.OpenTenant("quickstart");
+  if (!session.ok()) {
+    std::cerr << "open tenant failed: " << session.status() << "\n";
+    return 1;
+  }
 
-  // 3. Compile + run under the default rule configuration.
-  auto base = engine.Run(job, opt::RuleConfig::Default(), /*run_salt=*/0);
+  // 4. Compile + run under the default rule configuration. Compile goes
+  //    through the API (hint-aware; no hints yet), execution through the
+  //    tenant's engine.
+  auto base = session->Compile(job);
   if (!base.ok()) {
     std::cerr << "compile failed: " << base.status() << "\n";
     return 1;
   }
-  std::printf("--- default plan (est cost %.3f) ---\n%s\n",
-              base->compilation->est_cost,
+  exec::JobMetrics base_metrics =
+      session->engine().Execute(job, *base->compilation, /*run_salt=*/0);
+  std::printf("--- default plan (est cost %.3f, sis v%d) ---\n%s\n",
+              base->compilation->est_cost, base->sis_version,
               base->compilation->plan.ToString().c_str());
   std::printf("rule signature bits: ");
   for (int bit : base->compilation->signature.Positions()) {
     std::printf("%d ", bit);
   }
-  std::printf("\nmetrics: %s\n\n", base->metrics.ToString().c_str());
+  std::printf("\nmetrics: %s\n\n", base_metrics.ToString().c_str());
 
-  // 4. Steer: flip a single rule (enable the estimate-sensitive aggressive
-  //    broadcast join) and compare — exactly what a QO-Advisor hint does.
-  auto flip =
-      opt::RuleConfig::DefaultWithFlip(opt::rules::kBroadcastJoinAggressive);
-  auto steered = engine.Run(job, flip, /*run_salt=*/0);
+  // 5. Steer: upload a hint flipping a single rule (enable the
+  //    estimate-sensitive aggressive broadcast join) for this template.
+  //    The upload republishes the tenant snapshot, so the next compile of
+  //    any "Quickstart" job — from any thread — picks the hint up.
+  sis::HintFile hints;
+  hints.day = 0;
+  hints.entries.push_back({.template_name = "Quickstart",
+                           .rule_id = opt::rules::kBroadcastJoinAggressive,
+                           .enable = true});
+  auto upload = session->UploadHints(hints);
+  if (!upload.ok()) {
+    std::cerr << "hint upload failed: " << upload.status() << "\n";
+    return 1;
+  }
+  std::printf("uploaded hint file: sis v%d, %zu active hint(s), snapshot "
+              "seq %llu\n\n",
+              upload->version, upload->active_hints,
+              static_cast<unsigned long long>(upload->snapshot_sequence));
+
+  auto steered = session->Compile(job);
   if (!steered.ok()) {
     std::cerr << "steered compile failed: " << steered.status() << "\n";
     return 1;
   }
-  std::printf("--- steered plan (est cost %.3f) ---\n%s\n",
-              steered->compilation->est_cost,
+  exec::JobMetrics steered_metrics =
+      session->engine().Execute(job, *steered->compilation, /*run_salt=*/0);
+  std::printf("--- steered plan (est cost %.3f, hint rule %d applied) ---\n%s\n",
+              steered->compilation->est_cost, steered->rule_id,
               steered->compilation->plan.ToString().c_str());
-  std::printf("metrics: %s\n\n", steered->metrics.ToString().c_str());
+  std::printf("metrics: %s\n\n", steered_metrics.ToString().c_str());
   std::printf("PNhours delta: %+.1f%%   latency delta: %+.1f%%   "
               "vertices delta: %+.1f%%\n",
-              100.0 * exec::RelativeDelta(steered->metrics.pn_hours,
-                                          base->metrics.pn_hours),
-              100.0 * exec::RelativeDelta(steered->metrics.latency_sec,
-                                          base->metrics.latency_sec),
+              100.0 * exec::RelativeDelta(steered_metrics.pn_hours,
+                                          base_metrics.pn_hours),
+              100.0 * exec::RelativeDelta(steered_metrics.latency_sec,
+                                          base_metrics.latency_sec),
               100.0 * exec::RelativeDelta(
-                          static_cast<double>(steered->metrics.vertices),
-                          static_cast<double>(base->metrics.vertices)));
+                          static_cast<double>(steered_metrics.vertices),
+                          static_cast<double>(base_metrics.vertices)));
   return 0;
 }

@@ -4,6 +4,13 @@
 Usage:
   scripts/bench_compare.py BASELINE_JSON FRESH_JSON [--tolerance 0.20]
                            [--min-seconds 0.05] [--micro-min-seconds 1e-6]
+  scripts/bench_compare.py --service-report SERVICE_LOAD_JSONL
+
+The second form skips the gate entirely: it reads the QO_OBS_REPORT JSONL
+written by bench/service_load and prints a markdown summary (sustained qps
+plus p50/p99 of the service.*_ns histograms) suitable for appending to
+$GITHUB_STEP_SUMMARY. Informational only — always exits 0 on well-formed
+input.
 
 Both files use the schema written by scripts/bench_baseline.sh:
   figure_benches:   {"<name>": {"wall_seconds": float, "exit_code": int}}
@@ -140,6 +147,58 @@ def print_metrics_drift(base_path, fresh_path):
                   f" {fmt_secs(fv * 1e-9):>12}  {fv / bv - 1.0:+7.1%}")
 
 
+def print_service_report(path):
+    """Markdown summary of a bench/service_load JSONL run report.
+
+    The last line whose label starts with "service_load" wins (the bench
+    emits one whole-process line per run). Returns 0 on success, 2 when the
+    file is missing or holds no service_load line.
+    """
+    per_label = load_metrics(path)
+    if not per_label:
+        print(f"error: cannot read service report {path}", file=sys.stderr)
+        return 2
+    report = None
+    for label in sorted(per_label):
+        if label.startswith("service_load"):
+            report = per_label[label]
+    if report is None:
+        print(f"error: no service_load line in {path} "
+              f"(labels: {sorted(per_label)})", file=sys.stderr)
+        return 2
+
+    series = report.get("series", {}) or {}
+    quantiles = report.get("quantiles", {}) or {}
+    print(f"### service_load ({report['label']})\n")
+    qps = series.get("service.load.qps")
+    wall_ms = series.get("service.load.wall_ms")
+    requests = series.get("service.load.requests")
+    if qps is not None:
+        line = f"Sustained **{qps:,.0f} qps**"
+        if requests is not None:
+            line += f" ({requests:,.0f} requests"
+            if wall_ms is not None:
+                line += f" in {wall_ms / 1e3:.3f}s"
+            line += ")"
+        print(line + "\n")
+    print("| histogram | count | p50 | p99 | max |")
+    print("|---|---:|---:|---:|---:|")
+    for name in sorted(quantiles):
+        if not name.startswith("service."):
+            continue
+        q = quantiles[name]
+        print(f"| `{name}` | {int(q.get('count', 0))} "
+              f"| {fmt_secs(float(q.get('p50_ns', 0)) * 1e-9).strip()} "
+              f"| {fmt_secs(float(q.get('p99_ns', 0)) * 1e-9).strip()} "
+              f"| {fmt_secs(float(q.get('max_ns', 0)) * 1e-9).strip()} |")
+    for name in ("service.rank_requests", "service.reward_requests",
+                 "service.compile_requests", "service.hint_uploads",
+                 "service.snapshot_publications"):
+        if name in series:
+            print(f"- `{name}`: {series[name]:,.0f}")
+    return 0
+
+
 def fmt_secs(s):
     if s >= 1.0:
         return f"{s:8.3f}s "
@@ -151,8 +210,8 @@ def fmt_secs(s):
 def main():
     parser = argparse.ArgumentParser(
         description="Bench regression gate against BENCH_baseline.json")
-    parser.add_argument("baseline")
-    parser.add_argument("fresh")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("fresh", nargs="?")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed slowdown fraction (default 0.20 = 20%%)")
     parser.add_argument("--min-seconds", type=float, default=0.05,
@@ -161,7 +220,16 @@ def main():
     parser.add_argument("--micro-min-seconds", type=float, default=1e-6,
                         help="microbenchmarks under this baseline time never "
                              "fail the gate")
+    parser.add_argument("--service-report", metavar="JSONL",
+                        help="print a markdown summary of a service_load "
+                             "run report instead of running the gate")
     args = parser.parse_args()
+
+    if args.service_report is not None:
+        return print_service_report(args.service_report)
+    if args.baseline is None or args.fresh is None:
+        parser.error("baseline and fresh are required unless "
+                     "--service-report is given")
 
     baseline = load(args.baseline)
     fresh = load(args.fresh)

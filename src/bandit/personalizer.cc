@@ -19,7 +19,8 @@ std::vector<std::shared_ptr<const SparseVector>> CombineActionSet(
 PersonalizerService::PersonalizerService(PersonalizerConfig config)
     : config_(config), model_(config.model), rng_(config.seed) {}
 
-Result<RankResponse> PersonalizerService::Rank(const RankRequest& request) {
+Result<RankResponse> PersonalizerService::Rank(const RankRequest& request,
+                                               const CbModel* serving_model) {
   QO_OBS_SPAN("rank");
   if (request.actions.empty()) {
     return Status::InvalidArgument("Rank requires at least one action");
@@ -37,11 +38,12 @@ Result<RankResponse> PersonalizerService::Rank(const RankRequest& request) {
       }
     }
   }
-  if (event_index_.count(request.event_id) > 0) {
+  const EventId event{event_syms_.Intern(request.event_id)};
+  if (event_index_.count(event) > 0) {
     return Status::InvalidArgument("duplicate event id: " + request.event_id);
   }
   LoggedEvent ev;
-  ev.event_id = request.event_id;
+  ev.id = event;
   if (!request.precombined.empty()) {
     // Shared combined-feature cache hit: adopt the caller's vectors. The
     // probes and acting arm of one job all log the same shared_ptrs.
@@ -62,7 +64,10 @@ Result<RankResponse> PersonalizerService::Rank(const RankRequest& request) {
     chosen = rng_.UniformInt(n);
     probability = 1.0 / static_cast<double>(n);
   } else {
-    size_t best = BestAction(ev, &rng_);
+    // The serving model may be a frozen snapshot (the advisor service's RCU
+    // published model); the learner's own model is the offline default.
+    size_t best = BestAction(
+        serving_model != nullptr ? *serving_model : model_, ev, &rng_);
     if (rng_.Bernoulli(config_.epsilon)) {
       chosen = rng_.UniformInt(n);
     } else {
@@ -74,27 +79,29 @@ Result<RankResponse> PersonalizerService::Rank(const RankRequest& request) {
   }
   ev.chosen = chosen;
   ev.probability = probability;
-  event_index_[request.event_id] = log_base_ + log_.size();
+  event_index_[event] = log_base_ + log_.size();
   log_.push_back(std::move(ev));
   ++telemetry_.ranks;
   CompactLog();
 
   RankResponse resp;
   resp.event_id = request.event_id;
+  resp.event = event;
   resp.chosen_index = chosen;
   resp.chosen_action_id = request.actions[chosen].action_id;
   resp.probability = probability;
   return resp;
 }
 
-size_t PersonalizerService::BestAction(const LoggedEvent& ev,
+size_t PersonalizerService::BestAction(const CbModel& model,
+                                       const LoggedEvent& ev,
                                        Rng* rng) const {
   constexpr double kTieTolerance = 1e-9;
   size_t best = 0;
   double best_score = -1e300;
   size_t ties = 0;
   for (size_t i = 0; i < ev.action_features.size(); ++i) {
-    double s = model_.Score(*ev.action_features[i]);
+    double s = model.Score(*ev.action_features[i]);
     if (s > best_score + kTieTolerance) {
       best_score = s;
       best = i;
@@ -110,16 +117,29 @@ size_t PersonalizerService::BestAction(const LoggedEvent& ev,
 
 Status PersonalizerService::Reward(const std::string& event_id,
                                    double reward) {
-  QO_OBS_SPAN("reward");
-  auto it = event_index_.find(event_id);
-  if (it == event_index_.end()) {
+  // Find (not Intern): an id that was never ranked must not grow the table.
+  const EventId event{event_syms_.Find(event_id)};
+  if (!event.valid()) {
     ++telemetry_.reward_failures;
     return Status::NotFound("unknown event id: " + event_id);
+  }
+  return Reward(event, reward);
+}
+
+Status PersonalizerService::Reward(EventId event, double reward) {
+  QO_OBS_SPAN("reward");
+  auto it = event_index_.find(event);
+  if (it == event_index_.end()) {
+    ++telemetry_.reward_failures;
+    return Status::NotFound(
+        "unknown event id: " +
+        (event.valid() ? event_syms_.Resolve(event.value) : "<invalid>"));
   }
   LoggedEvent& ev = log_[it->second - log_base_];
   if (ev.has_reward) {
     ++telemetry_.reward_failures;
-    return Status::FailedPrecondition("event already rewarded: " + event_id);
+    return Status::FailedPrecondition("event already rewarded: " +
+                                      event_syms_.Resolve(event.value));
   }
   ev.has_reward = true;
   ev.reward = reward;
@@ -148,6 +168,16 @@ void PersonalizerService::Retrain() {
   CompactLog();
 }
 
+std::vector<LoggedExample> PersonalizerService::TakePendingBatch() {
+  std::vector<LoggedExample> batch = std::move(pending_);
+  pending_.clear();
+  ++telemetry_.retrains;
+  telemetry_.examples_trained += batch.size();
+  rewarded_at_last_train_ = rewarded_;
+  CompactLog();
+  return batch;
+}
+
 void PersonalizerService::CompactLog() {
   if (config_.retention_window == 0) return;
   // The front of the window is always safe to drop: a rewarded event was
@@ -155,7 +185,7 @@ void PersonalizerService::CompactLog() {
   // and an unrewarded event older than the window has exceeded the
   // reward-join horizon.
   while (log_.size() > config_.retention_window) {
-    event_index_.erase(log_.front().event_id);
+    event_index_.erase(log_.front().id);
     log_.pop_front();
     ++log_base_;
     ++telemetry_.events_compacted;
@@ -173,7 +203,7 @@ PersonalizerService::EvaluateOffline() const {
     logged_sum += ev.reward;
     // IPS: reward counts only when the target (greedy) policy agrees with
     // the logged action, re-weighted by the logging propensity.
-    if (BestAction(ev, nullptr) == ev.chosen) {
+    if (BestAction(model_, ev, nullptr) == ev.chosen) {
       ips_sum += ev.reward / std::max(ev.probability, 1e-6);
     }
   }

@@ -27,6 +27,7 @@
 #include "bandit/features.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/symbol_table.h"
 #include "telemetry/bandit_telemetry.h"
 
 namespace qo::bandit {
@@ -35,6 +36,22 @@ namespace qo::bandit {
 struct RankableAction {
   std::string action_id;
   FeatureVector features;
+};
+
+/// Typed event identity: a dense id interned in the service's own
+/// SymbolTable at Rank time and carried through RankResponse back into the
+/// reward join. The join map is keyed by this integer, so a Reward() with a
+/// typed id never hashes or compares the event-id string — the string form
+/// survives only for request construction and error messages.
+struct EventId {
+  Symbol value = kNoSymbol;
+
+  bool valid() const { return value != kNoSymbol; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+struct EventIdHash {
+  size_t operator()(EventId id) const { return id.value; }
 };
 
 struct RankRequest {
@@ -55,6 +72,9 @@ struct RankRequest {
 
 struct RankResponse {
   std::string event_id;
+  /// Typed id for the reward join: Reward(event) is an integer-keyed map
+  /// probe, no string hashing. Always valid on an OK response.
+  EventId event;
   size_t chosen_index = 0;
   std::string chosen_action_id;
   double probability = 1.0;  ///< propensity of the chosen action
@@ -97,17 +117,44 @@ class PersonalizerService {
   /// Ranks the actions; logs the decision for later reward joining.
   /// InvalidArgument when the request has no actions, a duplicate event id,
   /// or a precombined set whose size disagrees with the action set.
-  Result<RankResponse> Rank(const RankRequest& request);
+  ///
+  /// `serving_model` overrides the model used for scoring (epsilon-greedy
+  /// argmax) without touching the learning state — the advisor service
+  /// passes its published RCU snapshot's model here, so ranking reads a
+  /// frozen model while the trainer works on the next one. Null scores with
+  /// the learner's own model (the offline pipeline's behaviour).
+  ///
+  /// [[deprecated]]-in-comment for service callers: prefer
+  /// service::TenantSession::Rank, which snapshots the serving model and
+  /// serializes per-tenant traffic for you.
+  Result<RankResponse> Rank(const RankRequest& request,
+                            const CbModel* serving_model = nullptr);
 
   /// Attaches a reward to a previously ranked event and queues the chosen
   /// arm's features for the next incremental retrain. NotFound for unknown
   /// (or retention-expired) event ids; FailedPrecondition for
-  /// already-rewarded events.
+  /// already-rewarded events. The typed-id overload is the hot join: one
+  /// integer map probe, no string hashing.
+  Status Reward(EventId event, double reward);
+  /// String-keyed compatibility join. [[deprecated]]-in-comment: prefer
+  /// carrying RankResponse::event through to Reward(EventId) — this overload
+  /// pays a string hash to recover the typed id.
   Status Reward(const std::string& event_id, double reward);
 
   /// Trains the model on the examples rewarded since the last retrain (the
   /// pending batch), then compacts the event log per the retention policy.
   void Retrain();
+
+  /// Moves out the pending batch without training, advancing the retrain
+  /// watermark and compacting the log. The advisor service's trainer drains
+  /// the batch under the tenant lock, trains a model copy outside it, and
+  /// publishes the result as a new snapshot — Retrain() is equivalent to
+  /// TakePendingBatch + Train + AdoptModel in one (single-threaded) step.
+  std::vector<LoggedExample> TakePendingBatch();
+
+  /// Replaces the learner's model (the write-back half of the service
+  /// trainer's drain/train/publish cycle).
+  void AdoptModel(CbModel model) { model_ = std::move(model); }
 
   /// Counterfactual IPS estimate of the *current greedy policy*'s average
   /// reward over the retained log window, and of the logging baseline.
@@ -136,7 +183,7 @@ class PersonalizerService {
 
  private:
   struct LoggedEvent {
-    std::string event_id;
+    EventId id;
     std::vector<std::shared_ptr<const SparseVector>> action_features;
     size_t chosen = 0;
     double probability = 1.0;
@@ -144,12 +191,13 @@ class PersonalizerService {
     double reward = 0.0;
   };
 
-  /// Greedy argmax under the current model. Near-ties are broken uniformly
+  /// Greedy argmax under `model`. Near-ties are broken uniformly
   /// at random when `rng` is provided — an untrained model therefore ranks
   /// uniformly-at-random, exactly the CB cold-start behaviour the paper
   /// describes (Sec. 3.1). Pass nullptr for deterministic (first-wins)
   /// selection, used by offline evaluation.
-  size_t BestAction(const LoggedEvent& ev, Rng* rng) const;
+  size_t BestAction(const CbModel& model, const LoggedEvent& ev,
+                    Rng* rng) const;
 
   /// Drops the oldest events while the log exceeds retention_window.
   void CompactLog();
@@ -157,11 +205,17 @@ class PersonalizerService {
   PersonalizerConfig config_;
   CbModel model_;
   Rng rng_;
+  /// Service-local intern table for event ids — not the process-wide one:
+  /// event ids are unique per event, so interning them globally would bloat
+  /// the compile path's table. Growth is scoped to the service instance;
+  /// Resolve(id.value) recovers the string for error messages.
+  SymbolTable event_syms_;
   /// Event log as a sliding window: log_[k] has global index log_base_ + k.
   std::deque<LoggedEvent> log_;
   size_t log_base_ = 0;
-  /// event id -> global event index (entries for compacted events erased).
-  std::unordered_map<std::string, size_t> event_index_;
+  /// typed event id -> global event index (compacted events erased). An
+  /// integer-keyed probe: the reward join never hashes the id string.
+  std::unordered_map<EventId, size_t, EventIdHash> event_index_;
   /// Examples rewarded since the last retrain (features shared with log_).
   std::vector<LoggedExample> pending_;
   size_t rewarded_ = 0;

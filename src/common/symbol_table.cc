@@ -30,6 +30,12 @@ Symbol SymbolTable::Intern(std::string_view text) {
   return id;
 }
 
+Symbol SymbolTable::Find(std::string_view text) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(text);
+  return it != index_.end() ? it->second : kNoSymbol;
+}
+
 const std::string& SymbolTable::Resolve(Symbol id) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return strings_[id];

@@ -46,6 +46,11 @@ class SymbolTable {
   /// Returns the id for `text`, assigning the next dense id on first use.
   Symbol Intern(std::string_view text);
 
+  /// The id for `text` if it was ever interned, kNoSymbol otherwise. Never
+  /// grows the table — the probe for "was this string ever assigned an id"
+  /// (e.g. a reward join keyed by an event id the caller typed wrong).
+  Symbol Find(std::string_view text) const;
+
   /// The string for an id previously returned by Intern. Returned reference
   /// stays valid for the table's lifetime (strings are never removed).
   const std::string& Resolve(Symbol id) const;

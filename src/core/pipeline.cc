@@ -31,7 +31,8 @@ std::string PipelineDayReport::ToString() const {
 QoAdvisorPipeline::QoAdvisorPipeline(const engine::ScopeEngine* engine,
                                      sis::StatsInsightService* sis,
                                      PipelineConfig config,
-                                     runtime::ParallelRuntime* runtime)
+                                     runtime::ParallelRuntime* runtime,
+                                     bandit::PersonalizerService* personalizer)
     : engine_(engine),
       sis_(sis),
       config_(config),
@@ -42,16 +43,21 @@ QoAdvisorPipeline::QoAdvisorPipeline(const engine::ScopeEngine* engine,
       runtime_(runtime != nullptr ? runtime : owned_runtime_.get()),
       injector_(config.guard.faults),
       guard_(config.guard),
-      personalizer_(config.personalizer),
+      owned_personalizer_(personalizer != nullptr
+                              ? nullptr
+                              : std::make_unique<bandit::PersonalizerService>(
+                                    config.personalizer)),
+      personalizer_(personalizer != nullptr ? personalizer
+                                            : owned_personalizer_.get()),
       flighting_(engine, config.flighting, runtime_, &injector_),
-      recommender_(engine, &personalizer_, config.recommender, &injector_),
+      recommender_(engine, personalizer_, config.recommender, &injector_),
       validation_(config.validation) {
   // One collector covers every surface the pipeline owns or borrows:
   // Personalizer (bandit.*), flighting (flight.*), SIS hint lifecycle
   // (sis.*) and the pipeline's own cumulative day counters (pipeline.*).
   collector_id_ =
       obs::Registry::Get().AddCollector([this](obs::SeriesSink& sink) {
-        telemetry::ExportSeries(personalizer_.telemetry(), sink);
+        telemetry::ExportSeries(personalizer_->telemetry(), sink);
         telemetry::ExportSeries(flighting_.telemetry(), sink);
         sink.Add("sis.version", static_cast<double>(sis_->current_version()));
         sink.Add("sis.active_hints",

@@ -89,9 +89,14 @@ class QoAdvisorPipeline {
   /// When `runtime` is non-null the pipeline borrows it (sharing one pool
   /// with the caller, e.g. the experiment harness) and ignores
   /// config.runtime; otherwise it owns a pool built from config.runtime.
+  /// Likewise `personalizer`: non-null borrows the caller's learner (the
+  /// advisor service passes its tenant's, so serving and pipeline traffic
+  /// share one event log/model) and ignores config.personalizer; null owns
+  /// one built from config.personalizer.
   QoAdvisorPipeline(const engine::ScopeEngine* engine,
                     sis::StatsInsightService* sis, PipelineConfig config = {},
-                    runtime::ParallelRuntime* runtime = nullptr);
+                    runtime::ParallelRuntime* runtime = nullptr,
+                    bandit::PersonalizerService* personalizer = nullptr);
   /// Deregisters the pipeline's registry collector.
   ~QoAdvisorPipeline();
   QoAdvisorPipeline(const QoAdvisorPipeline&) = delete;
@@ -100,7 +105,7 @@ class QoAdvisorPipeline {
   /// Runs the full pipeline over one day's denormalized view.
   Result<PipelineDayReport> RunDay(const telemetry::WorkloadView& view);
 
-  bandit::PersonalizerService& personalizer() { return personalizer_; }
+  bandit::PersonalizerService& personalizer() { return *personalizer_; }
   runtime::ParallelRuntime& runtime() { return *runtime_; }
   flight::FlightingService& flighting() { return flighting_; }
   ValidationModel& validation_model() { return validation_; }
@@ -128,7 +133,9 @@ class QoAdvisorPipeline {
   /// Declared before flighting_/recommender_, which hold a pointer to it.
   guard::FaultInjector injector_;
   guard::SteeringGuard guard_;
-  bandit::PersonalizerService personalizer_;
+  /// Owned learner (null when a caller's personalizer is borrowed).
+  std::unique_ptr<bandit::PersonalizerService> owned_personalizer_;
+  bandit::PersonalizerService* personalizer_;
   flight::FlightingService flighting_;
   Recommender recommender_;
   ValidationModel validation_;

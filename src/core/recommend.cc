@@ -226,8 +226,10 @@ std::vector<Recommendation> Recommender::RecommendDay(
             injector_->ShouldInject(guard::FaultSite::kRewardJoin, day,
                                     log_rank->event_id)) {
           ++local.rewards_dropped;
-        } else if (!personalizer_->Reward(log_rank->event_id,
-                                          probe.reward).ok()) {
+        } else if (!personalizer_->Reward(log_rank->event, probe.reward)
+                        .ok()) {
+          // Typed join: the id rode back on the RankResponse, so the reward
+          // lands with one integer map probe — no string hashing.
           ++local.reward_failures;
         }
       }

@@ -86,6 +86,10 @@ class ScopeEngine {
   /// Compile without copying: the returned output is shared with the cache
   /// and must not be mutated. This is the path the advisor pipeline uses —
   /// a cache hit is O(1) regardless of plan size.
+  /// [[deprecated]]-in-spirit for steered compile traffic: callers that want
+  /// hint resolution should go through service::TenantSession::Compile,
+  /// which resolves the tenant's published hint snapshot and then lands
+  /// here. Direct use remains supported for unsteered/experiment paths.
   Result<std::shared_ptr<const opt::CompilationOutput>> CompileShared(
       const workload::JobInstance& job, const opt::RuleConfig& config) const;
 
@@ -98,6 +102,9 @@ class ScopeEngine {
   /// same instance (A/A and A/B runs); identical salts replay identically.
   /// Thread-safety: const and pure — all randomness derives from
   /// (job.run_seed, run_salt), safe to call concurrently.
+  /// [[deprecated]]-in-spirit for production-shaped callers: prefer
+  /// service::TenantSession::Compile + engine().Execute so the compile half
+  /// picks up the tenant's published hints.
   Result<JobRunResult> Run(const workload::JobInstance& job,
                            const opt::RuleConfig& config,
                            uint64_t run_salt) const;

@@ -1,5 +1,6 @@
 #include "sis/sis.h"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 
@@ -97,6 +98,42 @@ Result<HintFile> HintFile::Parse(const std::string& text) {
   }
   if (!saw_header) return Status::ParseError("missing hint file header");
   return file;
+}
+
+SnapshotView::SnapshotView(
+    int version, const std::map<std::string, HintEntry>& active_hints)
+    : version_(version) {
+  entries_.reserve(active_hints.size());
+  // std::map iterates in key order, so entries_ is born sorted by template
+  // name — the invariant the binary-search lookup below relies on.
+  for (const auto& [name, entry] : active_hints) {
+    entries_.push_back(entry);
+  }
+}
+
+std::optional<HintEntry> SnapshotView::LookupHint(
+    std::string_view template_name) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), template_name,
+      [](const HintEntry& e, std::string_view name) {
+        return e.template_name < name;
+      });
+  if (it == entries_.end() || it->template_name != template_name) {
+    return std::nullopt;
+  }
+  return *it;
+}
+
+opt::RuleConfig SnapshotView::ConfigForTemplate(
+    std::string_view template_name) const {
+  auto hint = LookupHint(template_name);
+  if (!hint.has_value()) return opt::RuleConfig::Default();
+  return hint->ToConfig();
+}
+
+std::shared_ptr<const SnapshotView> StatsInsightService::BuildSnapshotView()
+    const {
+  return std::make_shared<const SnapshotView>(version_, active_);
 }
 
 Result<int> StatsInsightService::UploadHintFile(const HintFile& file) {

@@ -9,8 +9,10 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -51,8 +53,44 @@ struct SisConfig {
   size_t history_retention = 128;
 };
 
+/// An immutable point-in-time view of the active hint set — the read side of
+/// the service layer's RCU double-buffer (src/service/). A writer builds a
+/// fresh view from the live StatsInsightService after every upload/revert
+/// and publishes it through the service's SnapshotSlot; concurrent readers
+/// resolve templates against whichever view they loaded, with no lock
+/// anywhere on the lookup path. Entries are sorted by template name (binary-search
+/// probes), and a view can never change after construction, so a reader
+/// always sees a hint set that existed in full at some version.
+class SnapshotView {
+ public:
+  /// Builds a view from a sorted-by-construction hint map (what the live
+  /// service maintains) at the given version.
+  SnapshotView(int version,
+               const std::map<std::string, HintEntry>& active_hints);
+
+  /// The hint in effect for the template in this view, if any.
+  std::optional<HintEntry> LookupHint(std::string_view template_name) const;
+
+  /// Compile configuration under this view: default, or default+flip.
+  opt::RuleConfig ConfigForTemplate(std::string_view template_name) const;
+
+  /// The SIS version this view was built from (monotonic across swaps).
+  int version() const { return version_; }
+  size_t active_hints() const { return entries_.size(); }
+  const std::vector<HintEntry>& entries() const { return entries_; }
+
+ private:
+  int version_ = 0;
+  std::vector<HintEntry> entries_;  ///< sorted by template_name
+};
+
 /// The service: stores versioned hint files and serves the effective hint
 /// for a template (the newest version wins).
+///
+/// Thread-safety: thread-compatible, not thread-safe — the offline pipeline
+/// drives it from one thread. The always-on advisor service wraps it behind
+/// a short writer lock and serves concurrent compile traffic from published
+/// SnapshotViews instead (see src/service/advisor_service.h).
 class StatsInsightService {
  public:
   StatsInsightService() = default;
@@ -61,7 +99,14 @@ class StatsInsightService {
   /// Validates and installs a hint file as the next version.
   /// InvalidArgument for malformed entries (unknown rule id, duplicate
   /// template, flip that matches the default — i.e. a no-op hint).
+  /// [[deprecated]]-in-comment for direct service callers: go through
+  /// service::TenantSession::UploadHints, which also republishes the
+  /// tenant's snapshot so concurrent compiles see the new hints.
   Result<int> UploadHintFile(const HintFile& file);
+
+  /// Immutable snapshot of the active hint set at the current version — the
+  /// unit the advisor service publishes for lock-free readers.
+  std::shared_ptr<const SnapshotView> BuildSnapshotView() const;
 
   /// The hint currently in effect for the template, if any.
   std::optional<HintEntry> LookupHint(const std::string& template_name) const;
