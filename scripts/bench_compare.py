@@ -28,6 +28,11 @@ Rules:
     time exceeds baseline * (1 + tolerance).
   * A microbenchmark REGRESSES when its real_time exceeds
     baseline * (1 + tolerance).
+  * The service_load sustained qps (from the metrics siblings' service_load
+    run-report line) REGRESSES when the fresh qps drops below
+    baseline * (1 - tolerance). Its request p99 is printed alongside but is
+    informational only — tail latency on shared CI runners is too noisy to
+    gate.
   * Benches faster than the floor (--min-seconds / --micro-min-seconds) in
     the baseline are reported but never fail the gate — too noisy.
   * Entries present on only one side are WARNED about on stderr but do not
@@ -145,6 +150,65 @@ def print_metrics_drift(base_path, fresh_path):
                 continue
             print(f"{label:36} {name + '.p50':34} {fmt_secs(bv * 1e-9):>12}"
                   f" {fmt_secs(fv * 1e-9):>12}  {fv / bv - 1.0:+7.1%}")
+
+
+def service_load_summary(per_label):
+    """(qps, request_p99_ns) from a metrics dict's service_load line.
+
+    Returns None when the dict is missing or holds no service_load label;
+    either tuple slot may be None when the series/histogram is absent.
+    """
+    if not per_label:
+        return None
+    report = None
+    for label in sorted(per_label):
+        if label.startswith("service_load"):
+            report = per_label[label]
+    if report is None:
+        return None
+    series = report.get("series", {}) or {}
+    quantiles = report.get("quantiles", {}) or {}
+    qps = series.get("service.load.qps")
+    p99 = (quantiles.get("service.request_ns") or {}).get("p99_ns")
+    return (qps, p99)
+
+
+def check_service_load(base_path, fresh_path, tolerance, regressions,
+                       warnings):
+    """Gate on sustained service_load qps; request p99 is informational."""
+    base = service_load_summary(load_metrics(metrics_sibling(base_path)))
+    fresh = service_load_summary(load_metrics(metrics_sibling(fresh_path)))
+    base_qps = base[0] if base else None
+    fresh_qps = fresh[0] if fresh else None
+    if base_qps is None and fresh_qps is None:
+        return
+    if fresh_qps is None:
+        warnings.append("service_load qps: in baseline only (no fresh "
+                        "service_load metrics line)")
+        return
+    if base_qps is None:
+        warnings.append("service_load qps: in fresh only (refresh the "
+                        "baseline to arm the qps gate)")
+        return
+    bq, fq = float(base_qps), float(fresh_qps)
+    delta = fq / bq - 1.0 if bq > 0 else 0.0
+    status = "ok"
+    if delta < -tolerance:
+        status = "REGRESSED"
+        regressions.append(f"service_load qps: {bq:,.0f} -> {fq:,.0f} "
+                           f"({delta:+.1%} < -{tolerance:.0%})")
+    elif delta > tolerance:
+        status = "faster"
+    print(f"\nservice_load gate (qps gated at {tolerance:.0%} tolerance):")
+    print(f"  sustained qps:          {bq:>12,.0f} -> {fq:>12,.0f} "
+          f" {delta:+7.1%}  {status}")
+    base_p99, fresh_p99 = (base[1] if base else None), (fresh[1] if fresh
+                                                        else None)
+    if base_p99 and fresh_p99:
+        bp, fp = float(base_p99), float(fresh_p99)
+        print(f"  service.request_ns p99: {fmt_secs(bp * 1e-9):>12} ->"
+              f" {fmt_secs(fp * 1e-9):>12}  {fp / bp - 1.0:+7.1%}"
+              f"  (informational)")
 
 
 def print_service_report(path):
@@ -314,6 +378,8 @@ def main():
         print(f"{kind:6} {name:44} {base_txt:>10} {fresh_txt:>10} "
               f"{delta:+7.1%}  {status}")
 
+    check_service_load(args.baseline, args.fresh, args.tolerance,
+                       regressions, warnings)
     print_metrics_drift(args.baseline, args.fresh)
 
     if warnings:

@@ -45,6 +45,15 @@ class CbModel {
   /// Predicted reward for a combined feature vector.
   double Score(const SparseVector& features) const;
 
+  /// Predicted rewards for every arm of a rank request at once. Arms are
+  /// processed in lane blocks of four: the weight gathers for four arms are
+  /// packed column-major and swept by the dispatched dot4 kernel up to the
+  /// shortest arm, then each lane finishes its tail scalar — continuing the
+  /// same sequential accumulation — so every returned score is bit-identical
+  /// to calling Score() on that arm alone. Null arms score 0.0.
+  std::vector<double> ScoreBatch(
+      const std::vector<std::shared_ptr<const SparseVector>>& arms) const;
+
   /// One SGD pass over the examples with IPS weighting (examples with low
   /// logging probability get up-weighted, subject to clipping). Examples
   /// with null features are skipped.

@@ -1,57 +1,23 @@
 #include "bandit/features.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
+#include "common/kernels/kernels.h"
 #include "optimizer/rules.h"
 
 namespace qo::bandit {
 
 namespace {
 
-/// Stable two-pass LSD radix sort by index. Feature indices live in the
-/// kDim = 2^18 hashed space, which factors exactly into two 9-bit digits —
-/// two counting passes beat comparison sorting on the large combined
-/// vectors (a 30-bit span combines to ~2000 entries) and this kernel sits
-/// on the pipeline's hottest path (one canonicalization per combine).
-void RadixSortByIndex(std::vector<std::pair<uint32_t, double>>* entries) {
-  static_assert(FeatureVector::kDim == (1u << 18),
-                "radix digit layout assumes an 18-bit index space");
-  constexpr uint32_t kRadixBits = 9;
-  constexpr uint32_t kBuckets = 1u << kRadixBits;
-  constexpr uint32_t kMask = kBuckets - 1;
-  auto& e = *entries;
-  std::vector<std::pair<uint32_t, double>> scratch(e.size());
-  uint32_t counts[kBuckets];
-  for (uint32_t shift : {0u, kRadixBits}) {
-    std::fill(std::begin(counts), std::end(counts), 0u);
-    for (const auto& [index, value] : e) ++counts[(index >> shift) & kMask];
-    uint32_t offset = 0;
-    for (uint32_t b = 0; b < kBuckets; ++b) {
-      uint32_t c = counts[b];
-      counts[b] = offset;
-      offset += c;
-    }
-    for (const auto& entry : e) {
-      scratch[counts[(entry.first >> shift) & kMask]++] = entry;
-    }
-    e.swap(scratch);
-  }
-}
-
-/// Shared canonicalization kernel: sort by index, coalesce runs of equal
-/// indices by summing their values. Returns the squared L2 norm of the
-/// coalesced values.
+/// Comparison sort + coalesce for small pair vectors (single actions, short
+/// spans): sort by index, coalesce runs of equal indices by summing their
+/// values. Returns the squared L2 norm of the coalesced values. Large raw
+/// vectors take the CombineArena path below instead.
 double SortAndCoalesce(std::vector<std::pair<uint32_t, double>>* entries) {
-  // Small vectors (single actions, short spans) sort faster by comparison;
-  // the radix passes win once the counting arrays amortize.
-  constexpr size_t kRadixThreshold = 256;
-  if (entries->size() >= kRadixThreshold) {
-    RadixSortByIndex(entries);
-  } else {
-    std::sort(entries->begin(), entries->end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-  }
+  std::sort(entries->begin(), entries->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   auto& e = *entries;
   size_t out = 0;
   double norm_sq = 0.0;
@@ -66,14 +32,171 @@ double SortAndCoalesce(std::vector<std::pair<uint32_t, double>>* entries) {
   return norm_sq;
 }
 
+/// Bump arena over the dense hashed feature space: raw (index, value)
+/// inserts accumulate straight into a value column guarded by a presence
+/// bitmap, and Emit() walks the bitmap in ascending index order — the
+/// combined vector materializes already sorted and coalesced, retiring the
+/// radix-sort canonicalization pass that used to follow every combine.
+///
+/// Bit-identity with the retired stable sort: duplicates accumulate in
+/// insertion order (`+=` on an already-present slot) exactly as the stable
+/// sort's coalesce loop summed a run, and Emit's ascending scan accumulates
+/// norm_sq in the same sorted-index order.
+///
+/// One arena per thread (2 MiB value column + 32 KiB bitmap), reused across
+/// combines; Emit clears only the touched bitmap words, so cost scales with
+/// the vector, not the space. Stale values beyond cleared bits are
+/// harmless — an insert on a clear bit overwrites.
+///
+/// A second-level summary bitmap (one bit per first-level word, 64 words
+/// total — a single cache line) lets Emit find the hot words without
+/// scanning the whole 32 KiB bitmap: the kernel collect runs over the
+/// summary, and only words with live bits are visited.
+class CombineArena {
+ public:
+  static constexpr uint32_t kDim = FeatureVector::kDim;
+  static constexpr size_t kWords = kDim / 64;
+  static constexpr size_t kSummaryWords = kWords / 64;
+
+  CombineArena()
+      : value_(kDim, 0.0),
+        bits_(kWords, 0),
+        summary_(kSummaryWords, 0),
+        hot_summary_(kSummaryWords) {}
+
+  void Add(uint32_t index, double value) {
+    const uint32_t w = index >> 6;
+    uint64_t& word = bits_[w];
+    const uint64_t mask = 1ULL << (index & 63u);
+    if (word & mask) {
+      value_[index] += value;
+    } else {
+      word |= mask;
+      summary_[w >> 6] |= 1ULL << (w & 63u);
+      value_[index] = value;
+    }
+  }
+
+  /// Drains the arena into canonical SoA columns. `size_hint` is the raw
+  /// insert count (an upper bound on distinct indices).
+  SparseVector Emit(size_t size_hint) {
+    const kernels::KernelTable& kt = kernels::Active();
+    std::vector<uint32_t> indices;
+    std::vector<double> values;
+    indices.reserve(size_hint);
+    values.reserve(size_hint);
+    double norm_sq = 0.0;
+    // One bulk kernel call over the summary line finds every region with a
+    // hot word — the drain loop then touches only live first-level words
+    // and never goes back through the dispatch pointer.
+    const size_t hot = kt.collect_nonzero_words(summary_.data(), 0,
+                                                kSummaryWords,
+                                                hot_summary_.data());
+    for (size_t k = 0; k < hot; ++k) {
+      const size_t s = hot_summary_[k];
+      uint64_t sword = summary_[s];
+      summary_[s] = 0;
+      while (sword != 0) {
+        const size_t w = s * 64 + static_cast<size_t>(std::countr_zero(sword));
+        sword &= sword - 1;
+        uint64_t word = bits_[w];
+        bits_[w] = 0;
+        while (word != 0) {
+          const uint32_t index =
+              static_cast<uint32_t>(w * 64) +
+              static_cast<uint32_t>(std::countr_zero(word));
+          word &= word - 1;
+          const double sum = value_[index];
+          indices.push_back(index);
+          values.push_back(sum);
+          norm_sq += sum * sum;
+        }
+      }
+    }
+    return SparseVector::FromCanonical(std::move(indices), std::move(values),
+                                       norm_sq);
+  }
+
+  /// Emit() variant draining into a sorted-coalesced pair vector, for the
+  /// FeatureVector canonicalization path (which keeps the pair layout).
+  void EmitPairs(std::vector<std::pair<uint32_t, double>>* out) {
+    const kernels::KernelTable& kt = kernels::Active();
+    out->clear();
+    const size_t hot = kt.collect_nonzero_words(summary_.data(), 0,
+                                                kSummaryWords,
+                                                hot_summary_.data());
+    for (size_t k = 0; k < hot; ++k) {
+      const size_t s = hot_summary_[k];
+      uint64_t sword = summary_[s];
+      summary_[s] = 0;
+      while (sword != 0) {
+        const size_t w = s * 64 + static_cast<size_t>(std::countr_zero(sword));
+        sword &= sword - 1;
+        uint64_t word = bits_[w];
+        bits_[w] = 0;
+        while (word != 0) {
+          const uint32_t index =
+              static_cast<uint32_t>(w * 64) +
+              static_cast<uint32_t>(std::countr_zero(word));
+          word &= word - 1;
+          out->emplace_back(index, value_[index]);
+        }
+      }
+    }
+  }
+
+ private:
+  std::vector<double> value_;
+  std::vector<uint64_t> bits_;
+  std::vector<uint64_t> summary_;
+  std::vector<uint32_t> hot_summary_;
+};
+
+CombineArena& ThreadArena() {
+  thread_local CombineArena arena;
+  return arena;
+}
+
+/// Raw-entry count at which the arena pays for its bitmap scan. Below it,
+/// the comparison sort path wins; this is the same cutover the retired
+/// radix sort used, which also keeps the small-vector duplicate-coalescing
+/// order (unstable std::sort) byte-identical to the previous tree.
+constexpr size_t kArenaThreshold = 256;
+
+SparseVector CanonicalizePairs(std::vector<std::pair<uint32_t, double>> raw) {
+  if (raw.size() >= kArenaThreshold) {
+    CombineArena& arena = ThreadArena();
+    for (const auto& [index, value] : raw) arena.Add(index, value);
+    return arena.Emit(raw.size());
+  }
+  const double norm_sq = SortAndCoalesce(&raw);
+  std::vector<uint32_t> indices;
+  std::vector<double> values;
+  indices.reserve(raw.size());
+  values.reserve(raw.size());
+  for (const auto& [index, value] : raw) {
+    indices.push_back(index);
+    values.push_back(value);
+  }
+  return SparseVector::FromCanonical(std::move(indices), std::move(values),
+                                     norm_sq);
+}
+
 }  // namespace
 
 SparseVector SparseVector::Canonicalize(
     std::vector<std::pair<uint32_t, double>> raw) {
   for (auto& [index, value] : raw) index %= FeatureVector::kDim;
+  return CanonicalizePairs(std::move(raw));
+}
+
+SparseVector SparseVector::FromCanonical(std::vector<uint32_t> indices,
+                                         std::vector<double> values,
+                                         double norm_sq) {
   SparseVector v;
-  v.entries_ = std::move(raw);
-  v.norm_sq_ = SortAndCoalesce(&v.entries_);
+  v.indices_ = std::move(indices);
+  v.values_ = std::move(values);
+  v.norm_sq_ = norm_sq;
   return v;
 }
 
@@ -90,7 +213,18 @@ void FeatureVector::AddNamed(const std::string& name, double value) {
   Add(static_cast<uint32_t>(HashFeatureName(name)), value);
 }
 
-void FeatureVector::Canonicalize() { SortAndCoalesce(&entries); }
+void FeatureVector::Canonicalize() {
+  // Same cutover as the combined path: the arena reproduces the retired
+  // stable radix sort bit for bit on large vectors (long-span context
+  // features), the comparison sort keeps the legacy small-vector behavior.
+  if (entries.size() >= kArenaThreshold) {
+    CombineArena& arena = ThreadArena();
+    for (const auto& [index, value] : entries) arena.Add(index, value);
+    arena.EmitPairs(&entries);
+  } else {
+    SortAndCoalesce(&entries);
+  }
+}
 
 namespace {
 
@@ -178,9 +312,24 @@ FeatureVector BuildActionFeatures(int rule_id, bool is_noop) {
 
 SparseVector CombineFeatures(const FeatureVector& shared,
                              const FeatureVector& action) {
+  const size_t raw_size =
+      shared.size() + action.size() + shared.size() * action.size();
+  if (raw_size >= kArenaThreshold) {
+    // Hot path (~2000 raw entries per combine): accumulate straight into
+    // the per-thread arena — no intermediate pair vector, no sort pass.
+    CombineArena& arena = ThreadArena();
+    for (const auto& [i, v] : shared.entries) arena.Add(i, v);
+    for (const auto& [i, v] : action.entries) arena.Add(i, v);
+    // Quadratic shared x action interactions.
+    for (const auto& [si, sv] : shared.entries) {
+      for (const auto& [ai, av] : action.entries) {
+        arena.Add(MixPair(si, ai) % FeatureVector::kDim, sv * av);
+      }
+    }
+    return arena.Emit(raw_size);
+  }
   std::vector<std::pair<uint32_t, double>> combined;
-  combined.reserve(shared.size() + action.size() +
-                   shared.size() * action.size());
+  combined.reserve(raw_size);
   for (const auto& [i, v] : shared.entries) combined.emplace_back(i, v);
   for (const auto& [i, v] : action.entries) combined.emplace_back(i, v);
   // Quadratic shared x action interactions.

@@ -19,17 +19,22 @@
 
 namespace qo::bandit {
 
-/// Canonical hashed sparse vector: entries sorted by index, exactly one
-/// entry per index (hash-collided duplicates are coalesced by summing their
-/// values at construction), squared L2 norm cached.
+/// Canonical hashed sparse vector in structure-of-arrays form: a sorted
+/// index column and a parallel value column, exactly one entry per index
+/// (hash-collided duplicates are coalesced by summing their values at
+/// construction), squared L2 norm cached.
 ///
 /// The canonical form is what makes the trainer correct *by construction*:
-/// a linear sweep over `entries()` touches each model weight exactly once,
+/// a linear sweep over the columns touches each model weight exactly once,
 /// so per-example L2 decay applies once per weight (not once per colliding
 /// occurrence) and `norm_sq()` counts a collided feature once at its summed
-/// value. It is immutable after construction and shared by value or via
-/// `shared_ptr` between the Personalizer's event log, the trainer and the
-/// Recommender's per-job combined-feature cache.
+/// value. The split columns are also what the vectorized scoring path
+/// consumes: `CbModel::ScoreBatch` packs the dense value column of four
+/// arms into lane-major blocks without touching index/value interleaving
+/// or the 4-byte padding a pair layout carries. Immutable after
+/// construction and shared by value or via `shared_ptr` between the
+/// Personalizer's event log, the trainer and the Recommender's per-job
+/// combined-feature cache.
 class SparseVector {
  public:
   SparseVector() = default;
@@ -41,16 +46,24 @@ class SparseVector {
   static SparseVector Canonicalize(
       std::vector<std::pair<uint32_t, double>> raw);
 
-  /// Sorted by index, one entry per index.
-  const std::vector<std::pair<uint32_t, double>>& entries() const {
-    return entries_;
-  }
+  /// Wraps already-canonical columns (sorted unique indices < kDim, values
+  /// parallel, norm_sq = sum of squared values). The combine arena emits
+  /// through this; callers are responsible for the precondition.
+  static SparseVector FromCanonical(std::vector<uint32_t> indices,
+                                    std::vector<double> values,
+                                    double norm_sq);
+
+  /// Sorted feature indices, one entry per index.
+  const std::vector<uint32_t>& indices() const { return indices_; }
+  /// Values parallel to `indices()`.
+  const std::vector<double>& values() const { return values_; }
   /// Cached squared L2 norm of the coalesced values.
   double norm_sq() const { return norm_sq_; }
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return indices_.size(); }
 
  private:
-  std::vector<std::pair<uint32_t, double>> entries_;
+  std::vector<uint32_t> indices_;
+  std::vector<double> values_;
   double norm_sq_ = 0.0;
 };
 

@@ -97,11 +97,17 @@ size_t PersonalizerService::BestAction(const CbModel& model,
                                        const LoggedEvent& ev,
                                        Rng* rng) const {
   constexpr double kTieTolerance = 1e-9;
+  // Score every arm in one vectorized batch, then replay the selection
+  // loop over the precomputed scores. The replay draws from `rng` exactly
+  // when the sequential loop would have (draws depend only on score
+  // comparisons, and batch scores are bit-identical to Score()), so the
+  // RNG stream is unchanged.
+  const std::vector<double> scores = model.ScoreBatch(ev.action_features);
   size_t best = 0;
   double best_score = -1e300;
   size_t ties = 0;
-  for (size_t i = 0; i < ev.action_features.size(); ++i) {
-    double s = model.Score(*ev.action_features[i]);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const double s = scores[i];
     if (s > best_score + kTieTolerance) {
       best_score = s;
       best = i;

@@ -1,0 +1,49 @@
+// Startup dispatch for the data-plane kernel tables.
+
+#include "common/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace qo::kernels {
+namespace {
+
+bool CpuHasAvx2() {
+#if defined(QO_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const KernelTable* ChooseStartupTable() {
+  // QO_SIMD=0 forces the scalar fallback; any other value (or unset) lets
+  // the CPU decide. Read once — dispatch is stable for the process.
+  const char* env = std::getenv("QO_SIMD");
+  if (env != nullptr && std::strcmp(env, "0") == 0) return &ScalarTable();
+  if (Avx2Compiled() && CpuHasAvx2()) return &Avx2Table();
+  return &ScalarTable();
+}
+
+const KernelTable* StartupTable() {
+  static const KernelTable* chosen = ChooseStartupTable();
+  return chosen;
+}
+
+std::atomic<const KernelTable*> g_test_override{nullptr};
+
+}  // namespace
+
+const KernelTable& Active() {
+  const KernelTable* over = g_test_override.load(std::memory_order_acquire);
+  return over != nullptr ? *over : *StartupTable();
+}
+
+bool SimdActive() { return &Active() != &ScalarTable(); }
+
+void SetActiveTableForTest(const KernelTable* table) {
+  g_test_override.store(table, std::memory_order_release);
+}
+
+}  // namespace qo::kernels

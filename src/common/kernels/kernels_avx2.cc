@@ -1,0 +1,159 @@
+// AVX2 implementations of the data-plane kernels.
+//
+// This TU is the only one compiled with -mavx2 (see src/CMakeLists.txt);
+// nothing here may be inlined into callers built at the base ISA, which is
+// why every entry point is reached through the KernelTable function
+// pointers. Bit-identity contract with kernels_scalar.cc: only per-lane
+// vector ops (mulpd/addpd/maxpd/minpd) in the exact scalar operation
+// order — no FMA, no horizontal sums, no reassociation.
+
+#include "common/kernels/kernels.h"
+
+#if defined(QO_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace qo::kernels {
+namespace {
+
+/// Transposes four row registers (lane-major) into four column registers:
+/// out k holds element k of every lane.
+inline void Transpose4x4(__m256d r0, __m256d r1, __m256d r2, __m256d r3,
+                         __m256d* c0, __m256d* c1, __m256d* c2, __m256d* c3) {
+  const __m256d t0 = _mm256_unpacklo_pd(r0, r1);  // a0 b0 a2 b2
+  const __m256d t1 = _mm256_unpackhi_pd(r0, r1);  // a1 b1 a3 b3
+  const __m256d t2 = _mm256_unpacklo_pd(r2, r3);  // c0 d0 c2 d2
+  const __m256d t3 = _mm256_unpackhi_pd(r2, r3);  // c1 d1 c3 d3
+  *c0 = _mm256_permute2f128_pd(t0, t2, 0x20);     // a0 b0 c0 d0
+  *c1 = _mm256_permute2f128_pd(t1, t3, 0x20);     // a1 b1 c1 d1
+  *c2 = _mm256_permute2f128_pd(t0, t2, 0x31);     // a2 b2 c2 d2
+  *c3 = _mm256_permute2f128_pd(t1, t3, 0x31);     // a3 b3 c3 d3
+}
+
+void Dot4Avx2(const double* const* v, const double* const* w, size_t columns,
+              double* acc) {
+  __m256d a = _mm256_loadu_pd(acc);
+  size_t i = 0;
+  // Four columns per step. Multiply first — per-lane vertical muls on
+  // contiguous loads produce the exact scalar products with zero shuffles
+  // (an IEEE product does not depend on accumulation order) — then a single
+  // 4x4 transpose turns the product rows into column vectors, accumulated
+  // one at a time in ascending index order so each lane keeps the scalar
+  // sequential-accumulation order. Transposing products instead of both
+  // operands halves the shuffle-port traffic, the bottleneck of this loop.
+  for (; i + 4 <= columns; i += 4) {
+    const __m256d p0 =
+        _mm256_mul_pd(_mm256_loadu_pd(v[0] + i), _mm256_loadu_pd(w[0] + i));
+    const __m256d p1 =
+        _mm256_mul_pd(_mm256_loadu_pd(v[1] + i), _mm256_loadu_pd(w[1] + i));
+    const __m256d p2 =
+        _mm256_mul_pd(_mm256_loadu_pd(v[2] + i), _mm256_loadu_pd(w[2] + i));
+    const __m256d p3 =
+        _mm256_mul_pd(_mm256_loadu_pd(v[3] + i), _mm256_loadu_pd(w[3] + i));
+    __m256d q0, q1, q2, q3;
+    Transpose4x4(p0, p1, p2, p3, &q0, &q1, &q2, &q3);
+    a = _mm256_add_pd(a, q0);
+    a = _mm256_add_pd(a, q1);
+    a = _mm256_add_pd(a, q2);
+    a = _mm256_add_pd(a, q3);
+  }
+  for (; i < columns; ++i) {
+    const __m256d vv =
+        _mm256_set_pd(v[3][i], v[2][i], v[1][i], v[0][i]);
+    const __m256d wv =
+        _mm256_set_pd(w[3][i], w[2][i], w[1][i], w[0][i]);
+    a = _mm256_add_pd(a, _mm256_mul_pd(vv, wv));
+  }
+  _mm256_storeu_pd(acc, a);
+}
+
+void CriticalPath4Avx2(size_t num_stages, const int32_t* topo,
+                       const int32_t* up_offsets, const int32_t* up_list,
+                       const double* waves, const double* tail, double startup,
+                       const double* noise, double* finish, double* critical) {
+  const __m256d startup_v = _mm256_set1_pd(startup);
+  for (size_t t = 0; t < num_stages; ++t) {
+    const size_t idx = static_cast<size_t>(topo[t]);
+    __m256d ready = _mm256_setzero_pd();
+    for (int32_t e = up_offsets[idx]; e < up_offsets[idx + 1]; ++e) {
+      const __m256d fu =
+          _mm256_loadu_pd(finish + static_cast<size_t>(up_list[e]) * kLanes);
+      ready = _mm256_max_pd(ready, fu);
+    }
+    const __m256d nz = _mm256_loadu_pd(noise + idx * kLanes);
+    const __m256d dur = _mm256_add_pd(
+        startup_v, _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(waves[idx]), nz),
+                                 _mm256_set1_pd(tail[idx])));
+    _mm256_storeu_pd(finish + idx * kLanes, _mm256_add_pd(ready, dur));
+  }
+  __m256d crit = _mm256_setzero_pd();
+  for (size_t s = 0; s < num_stages; ++s) {
+    crit = _mm256_max_pd(crit, _mm256_loadu_pd(finish + s * kLanes));
+  }
+  _mm256_storeu_pd(critical, crit);
+}
+
+void ClampRangeAvx2(double* x, size_t n, double lo, double hi) {
+  const __m256d lo_v = _mm256_set1_pd(lo);
+  const __m256d hi_v = _mm256_set1_pd(hi);
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d capped = _mm256_min_pd(_mm256_loadu_pd(x + i), hi_v);
+    _mm256_storeu_pd(x + i, _mm256_max_pd(capped, lo_v));
+  }
+  for (; i < n; ++i) {
+    const double capped = x[i] < hi ? x[i] : hi;
+    x[i] = capped > lo ? capped : lo;
+  }
+}
+
+size_t CollectNonzeroWordsAvx2(const uint64_t* words, size_t begin,
+                               size_t end, uint32_t* out) {
+  size_t n = 0;
+  size_t w = begin;
+  const __m256i zero = _mm256_setzero_si256();
+  // Four 64-bit words per testz — one compare covers 256 dense slots; only
+  // blocks with a hot word pay the per-word mask walk.
+  for (; w + 4 <= end; w += 4) {
+    const __m256i block =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w));
+    if (_mm256_testz_si256(block, block)) continue;
+    const int zero_mask = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(block, zero)));
+    for (int j = 0; j < 4; ++j) {
+      if ((zero_mask & (1 << j)) == 0) {
+        out[n++] = static_cast<uint32_t>(w) + static_cast<uint32_t>(j);
+      }
+    }
+  }
+  for (; w < end; ++w) {
+    if (words[w] != 0) out[n++] = static_cast<uint32_t>(w);
+  }
+  return n;
+}
+
+}  // namespace
+
+const KernelTable& Avx2Table() {
+  static const KernelTable table = {
+      "avx2", &Dot4Avx2, &CriticalPath4Avx2, &ClampRangeAvx2,
+      &CollectNonzeroWordsAvx2,
+  };
+  return table;
+}
+
+bool Avx2Compiled() { return true; }
+
+}  // namespace qo::kernels
+
+#else  // !defined(QO_HAVE_AVX2)
+
+namespace qo::kernels {
+
+const KernelTable& Avx2Table() { return ScalarTable(); }
+
+bool Avx2Compiled() { return false; }
+
+}  // namespace qo::kernels
+
+#endif  // defined(QO_HAVE_AVX2)

@@ -1,0 +1,99 @@
+// Scalar reference implementations of the data-plane kernels.
+//
+// These loops define the bit pattern every other table must reproduce: the
+// per-lane FP operation order here matches the legacy (pre-SoA) code paths
+// exactly, and kernels_avx2.cc mirrors it lane for lane.
+
+#include "common/kernels/kernels.h"
+
+namespace qo::kernels {
+namespace {
+
+void Dot4Scalar(const double* const* v, const double* const* w,
+                size_t columns, double* acc) {
+  const double* v0 = v[0];
+  const double* v1 = v[1];
+  const double* v2 = v[2];
+  const double* v3 = v[3];
+  const double* w0 = w[0];
+  const double* w1 = w[1];
+  const double* w2 = w[2];
+  const double* w3 = w[3];
+  double a0 = acc[0], a1 = acc[1], a2 = acc[2], a3 = acc[3];
+  for (size_t i = 0; i < columns; ++i) {
+    a0 += v0[i] * w0[i];
+    a1 += v1[i] * w1[i];
+    a2 += v2[i] * w2[i];
+    a3 += v3[i] * w3[i];
+  }
+  acc[0] = a0;
+  acc[1] = a1;
+  acc[2] = a2;
+  acc[3] = a3;
+}
+
+void CriticalPath4Scalar(size_t num_stages, const int32_t* topo,
+                         const int32_t* up_offsets, const int32_t* up_list,
+                         const double* waves, const double* tail,
+                         double startup, const double* noise, double* finish,
+                         double* critical) {
+  for (size_t t = 0; t < num_stages; ++t) {
+    const size_t idx = static_cast<size_t>(topo[t]);
+    const double* nz = noise + idx * kLanes;
+    double* fz = finish + idx * kLanes;
+    double r0 = 0.0, r1 = 0.0, r2 = 0.0, r3 = 0.0;
+    for (int32_t e = up_offsets[idx]; e < up_offsets[idx + 1]; ++e) {
+      const double* fu = finish + static_cast<size_t>(up_list[e]) * kLanes;
+      r0 = r0 > fu[0] ? r0 : fu[0];
+      r1 = r1 > fu[1] ? r1 : fu[1];
+      r2 = r2 > fu[2] ? r2 : fu[2];
+      r3 = r3 > fu[3] ? r3 : fu[3];
+    }
+    const double wv = waves[idx];
+    const double tl = tail[idx];
+    fz[0] = r0 + (startup + (wv * nz[0]) * tl);
+    fz[1] = r1 + (startup + (wv * nz[1]) * tl);
+    fz[2] = r2 + (startup + (wv * nz[2]) * tl);
+    fz[3] = r3 + (startup + (wv * nz[3]) * tl);
+  }
+  double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+  for (size_t s = 0; s < num_stages; ++s) {
+    const double* fz = finish + s * kLanes;
+    c0 = c0 > fz[0] ? c0 : fz[0];
+    c1 = c1 > fz[1] ? c1 : fz[1];
+    c2 = c2 > fz[2] ? c2 : fz[2];
+    c3 = c3 > fz[3] ? c3 : fz[3];
+  }
+  critical[0] = c0;
+  critical[1] = c1;
+  critical[2] = c2;
+  critical[3] = c3;
+}
+
+void ClampRangeScalar(double* x, size_t n, double lo, double hi) {
+  for (size_t i = 0; i < n; ++i) {
+    const double capped = x[i] < hi ? x[i] : hi;
+    x[i] = capped > lo ? capped : lo;
+  }
+}
+
+size_t CollectNonzeroWordsScalar(const uint64_t* words, size_t begin,
+                                 size_t end, uint32_t* out) {
+  size_t n = 0;
+  for (size_t w = begin; w < end; ++w) {
+    if (words[w] != 0) out[n++] = static_cast<uint32_t>(w);
+  }
+  return n;
+}
+
+}  // namespace
+
+const KernelTable& ScalarTable() {
+  static const KernelTable table = {
+      "scalar", &Dot4Scalar, &CriticalPath4Scalar, &ClampRangeScalar,
+      &CollectNonzeroWordsScalar,
+  };
+  return table;
+}
+
+}  // namespace qo::kernels

@@ -1,10 +1,38 @@
 #include "obs/span.h"
 
+#include <cstdlib>
 #include <string>
 
 #include "obs/trace.h"
 
 namespace qo::obs {
+
+namespace {
+
+uint32_t SampleEveryFromEnv() {
+  const char* v = std::getenv("QO_OBS_SAMPLE");
+  if (v == nullptr) return 1;
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed > 1 ? static_cast<uint32_t>(parsed) : 1;
+}
+
+std::atomic<uint32_t>& SampleOverride() {
+  static std::atomic<uint32_t> override_state{0};
+  return override_state;
+}
+
+}  // namespace
+
+uint32_t SampleEvery() {
+  const uint32_t forced = SampleOverride().load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  static const uint32_t from_env = SampleEveryFromEnv();
+  return from_env;
+}
+
+void SetSampleEveryForTest(uint32_t every) {
+  SampleOverride().store(every, std::memory_order_relaxed);
+}
 
 Histogram& SpanSite::hist() {
   Histogram* h = hist_.load(std::memory_order_acquire);

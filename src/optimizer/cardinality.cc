@@ -3,12 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/kernels/kernels.h"
+
 namespace qo::opt {
 
 namespace {
 
 double CapNdv(double ndv, double rows) {
   return std::max(1.0, std::min(ndv, rows));
+}
+
+/// Bulk CapNdv over a whole NDV column: x = max(1.0, min(x, rows)) per
+/// entry, through the dispatched clamp kernel. NDVs and row counts are
+/// finite by construction (the kernel's NaN-free precondition).
+void CapNdvAll(NdvMap* ndv, double rows) {
+  kernels::Active().clamp_range(ndv->MutableValues(), ndv->size(), 1.0, rows);
 }
 
 }  // namespace
@@ -66,9 +75,7 @@ RelStats StatsDeriver::Filter(
     sel *= PredicateSelectivity(pred, input);
   }
   out.rows = std::max(0.0, input.rows * sel);
-  for (auto& [col, ndv] : out.ndv) {
-    ndv = CapNdv(ndv, out.rows);
-  }
+  CapNdvAll(&out.ndv, out.rows);
   return out;
 }
 
@@ -102,12 +109,31 @@ RelStats StatsDeriver::Join(const RelStats& left, const RelStats& right,
     out.rows = left.rows * right.rows / std::max(ndv_l, ndv_r);
   }
   out.rows = std::max(0.0, out.rows);
-  for (const auto& [col, ndv] : left.ndv) {
-    out.ndv[col] = CapNdv(ndv, out.rows);
+  // Sorted two-pointer merge of the key columns (left wins on a shared
+  // column, as the insert-then-skip loop this replaces did), then one bulk
+  // cap over the merged value column.
+  const std::vector<Symbol>& lk = left.ndv.keys();
+  const std::vector<double>& lv = left.ndv.values();
+  const std::vector<Symbol>& rk = right.ndv.keys();
+  const std::vector<double>& rv = right.ndv.values();
+  out.ndv.Reserve(lk.size() + rk.size());
+  size_t i = 0, j = 0;
+  while (i < lk.size() && j < rk.size()) {
+    if (lk[i] < rk[j]) {
+      out.ndv.AppendSorted(lk[i], lv[i]);
+      ++i;
+    } else if (rk[j] < lk[i]) {
+      out.ndv.AppendSorted(rk[j], rv[j]);
+      ++j;
+    } else {
+      out.ndv.AppendSorted(lk[i], lv[i]);
+      ++i;
+      ++j;
+    }
   }
-  for (const auto& [col, ndv] : right.ndv) {
-    if (out.ndv.count(col) == 0) out.ndv[col] = CapNdv(ndv, out.rows);
-  }
+  for (; i < lk.size(); ++i) out.ndv.AppendSorted(lk[i], lv[i]);
+  for (; j < rk.size(); ++j) out.ndv.AppendSorted(rk[j], rv[j]);
+  CapNdvAll(&out.ndv, out.rows);
   return out;
 }
 
@@ -145,9 +171,7 @@ RelStats StatsDeriver::PartialAggregate(const RelStats& input,
   }
   groups = std::min(groups, input.rows);
   out.rows = std::min(input.rows, groups * std::max(1, partitions));
-  for (auto& [col, ndv] : out.ndv) {
-    ndv = CapNdv(ndv, out.rows);
-  }
+  CapNdvAll(&out.ndv, out.rows);
   return out;
 }
 
@@ -155,9 +179,22 @@ RelStats StatsDeriver::UnionAll(const RelStats& left,
                                 const RelStats& right) const {
   RelStats out;
   out.rows = left.rows + right.rows;
-  for (const auto& [col, ndv] : left.ndv) {
-    out.ndv[col] = CapNdv(ndv + right.NdvOf(col), out.rows);
+  // Output keys are exactly the left keys (sorted): probe the right column
+  // with a forward-only pointer instead of a binary search per key, falling
+  // back to right.rows for absent columns (the NdvOf default).
+  const std::vector<Symbol>& lk = left.ndv.keys();
+  const std::vector<double>& lv = left.ndv.values();
+  const std::vector<Symbol>& rk = right.ndv.keys();
+  const std::vector<double>& rv = right.ndv.values();
+  out.ndv.Reserve(lk.size());
+  size_t j = 0;
+  for (size_t i = 0; i < lk.size(); ++i) {
+    while (j < rk.size() && rk[j] < lk[i]) ++j;
+    const double right_ndv =
+        j < rk.size() && rk[j] == lk[i] ? rv[j] : right.rows;
+    out.ndv.AppendSorted(lk[i], lv[i] + right_ndv);
   }
+  CapNdvAll(&out.ndv, out.rows);
   return out;
 }
 

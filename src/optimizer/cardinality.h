@@ -35,50 +35,67 @@ enum class StatsMode {
   kTrue,
 };
 
-/// Flat map Symbol -> double, sorted by symbol id. Relations carry a
-/// handful of columns, so binary-searched vectors beat hash tables on both
-/// probes and — the hot part — the whole-map copies stats derivation does
-/// for every memo group. Every derivation writes each key's value
-/// independently (no cross-entry accumulation), so the change of iteration
-/// order relative to the hash map it replaced cannot change any output.
+/// Flat map Symbol -> double in structure-of-arrays form: a sorted symbol
+/// column and a parallel value column. Relations carry a handful of
+/// columns, so binary-searched vectors beat hash tables on both probes and
+/// — the hot part — the whole-map copies stats derivation does for every
+/// memo group. The split layout additionally hands the dense value column
+/// straight to the bulk NDV-cap kernel (kernels::KernelTable::clamp_range)
+/// and lets Join/UnionAll run sorted two-pointer merges over the key
+/// columns instead of per-key binary-search inserts. Every derivation
+/// writes each key's value independently (no cross-entry accumulation), so
+/// the change of iteration order relative to the hash map this replaced
+/// cannot change any output.
 class NdvMap {
  public:
-  using value_type = std::pair<Symbol, double>;
-  using iterator = std::vector<value_type>::iterator;
-  using const_iterator = std::vector<value_type>::const_iterator;
-
-  iterator begin() { return entries_.begin(); }
-  iterator end() { return entries_.end(); }
-  const_iterator begin() const { return entries_.begin(); }
-  const_iterator end() const { return entries_.end(); }
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  /// Sorted symbol column.
+  const std::vector<Symbol>& keys() const { return keys_; }
+  /// Value column parallel to `keys()`.
+  const std::vector<double>& values() const { return values_; }
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
 
   /// The value for `key`, or null when absent.
   const double* Find(Symbol key) const {
-    auto it = LowerBound(key);
-    return it != entries_.end() && it->first == key ? &it->second : nullptr;
+    size_t pos = LowerBound(key);
+    return pos < keys_.size() && keys_[pos] == key ? &values_[pos] : nullptr;
   }
 
   size_t count(Symbol key) const { return Find(key) != nullptr ? 1 : 0; }
 
-  /// Insert-or-find, keeping entries sorted (new keys start at 0.0).
+  /// Insert-or-find, keeping the columns sorted (new keys start at 0.0).
   double& operator[](Symbol key) {
-    auto it = std::lower_bound(
-        entries_.begin(), entries_.end(), key,
-        [](const value_type& e, Symbol k) { return e.first < k; });
-    if (it != entries_.end() && it->first == key) return it->second;
-    return entries_.insert(it, {key, 0.0})->second;
+    size_t pos = LowerBound(key);
+    if (pos < keys_.size() && keys_[pos] == key) return values_[pos];
+    keys_.insert(keys_.begin() + static_cast<ptrdiff_t>(pos), key);
+    return *values_.insert(values_.begin() + static_cast<ptrdiff_t>(pos),
+                           0.0);
   }
+
+  void Reserve(size_t n) {
+    keys_.reserve(n);
+    values_.reserve(n);
+  }
+
+  /// Appends an entry; `key` must be strictly greater than every present
+  /// key (the merge-based derivations emit in sorted order).
+  void AppendSorted(Symbol key, double value) {
+    keys_.push_back(key);
+    values_.push_back(value);
+  }
+
+  /// Raw value column for in-place bulk kernels (the NDV cap). The caller
+  /// must not reorder entries.
+  double* MutableValues() { return values_.data(); }
 
  private:
-  const_iterator LowerBound(Symbol key) const {
-    return std::lower_bound(
-        entries_.begin(), entries_.end(), key,
-        [](const value_type& e, Symbol k) { return e.first < k; });
+  size_t LowerBound(Symbol key) const {
+    return static_cast<size_t>(
+        std::lower_bound(keys_.begin(), keys_.end(), key) - keys_.begin());
   }
 
-  std::vector<value_type> entries_;
+  std::vector<Symbol> keys_;
+  std::vector<double> values_;
 };
 
 /// Derived relational properties of an operator output.

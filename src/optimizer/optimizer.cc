@@ -532,7 +532,10 @@ struct Group {
   /// search holds references across AddExprToGroup instead of deep-copying
   /// every MExpr it touches.
   std::deque<MExpr> exprs;
-  Schema schema;
+  /// Output schema, built once in MakeGroup and shared (refcount bump, not
+  /// column-vector copy) into every PhysicalNode implemented from this
+  /// group. Never null for a constructed group.
+  std::shared_ptr<const Schema> schema;
   RelStats est;
   RelStats tru;
   bool explored = false;
@@ -662,7 +665,7 @@ class MemoOptimizer {
 
   int MakeGroup(MExpr&& expr, Schema schema) {
     Group group;
-    group.schema = std::move(schema);
+    group.schema = std::make_shared<const Schema>(std::move(schema));
     group.est = DeriveStats(expr, est_);
     group.tru = DeriveStats(expr, tru_);
     group.fingerprints.insert(expr.Fingerprint());
@@ -798,10 +801,11 @@ class MemoOptimizer {
       int a_gid = j2.children[0];
       int b_gid = j2.children[1];
       // The key joining to C must come from B.
-      if (!groups_[b_gid].schema.HasColumn(SymOf(e.left_key_sym, e.left_key))) {
+      if (!groups_[b_gid].schema->HasColumn(
+              SymOf(e.left_key_sym, e.left_key))) {
         continue;
       }
-      if (!groups_[a_gid].schema.HasColumn(
+      if (!groups_[a_gid].schema->HasColumn(
               SymOf(j2.left_key_sym, j2.left_key))) {
         continue;
       }
@@ -816,8 +820,8 @@ class MemoOptimizer {
       inner.true_fanout = e.true_fanout;
       inner.derivation = e.derivation | j2.derivation;
       inner.derivation.Set(rules::kJoinAssociativity);
-      Schema inner_schema = ConcatSchemas(groups_[b_gid].schema,
-                                          groups_[e.children[1]].schema);
+      Schema inner_schema = ConcatSchemas(*groups_[b_gid].schema,
+                                          *groups_[e.children[1]].schema);
       int inner_gid = MakeGroup(std::move(inner), std::move(inner_schema));
       // outer = A join inner.
       MExpr outer;
@@ -854,7 +858,7 @@ class MemoOptimizer {
                                                   LogicalOpKind::kJoin)) {
       const MExpr& join = *joinp;
       int side_gid = join.children[left_side ? 0 : 1];
-      const Schema& side_schema = groups_[side_gid].schema;
+      const Schema& side_schema = *groups_[side_gid].schema;
       const std::string& join_key = left_side ? join.left_key : join.right_key;
       Symbol join_key_sym = left_side ? SymOf(join.left_key_sym, join.left_key)
                                       : SymOf(join.right_key_sym,
@@ -907,8 +911,8 @@ class MemoOptimizer {
       new_join.children[left_side ? 0 : 1] = partial_gid;
       new_join.derivation.Set(rule);
       Schema join_schema = ConcatSchemas(
-          groups_[new_join.children[0]].schema,
-          groups_[new_join.children[1]].schema);
+          *groups_[new_join.children[0]].schema,
+          *groups_[new_join.children[1]].schema);
       int join_gid = MakeGroup(std::move(new_join), std::move(join_schema));
       // Final aggregate in the original group.
       MExpr final_agg = e;
@@ -935,8 +939,8 @@ class MemoOptimizer {
         MExpr nj = e;
         nj.children = {u.children[side], e.children[1]};
         nj.derivation.Set(rules::kPushJoinThroughUnion);
-        Schema s = ConcatSchemas(groups_[u.children[side]].schema,
-                                 groups_[e.children[1]].schema);
+        Schema s = ConcatSchemas(*groups_[u.children[side]].schema,
+                                 *groups_[e.children[1]].schema);
         join_gids[side] = MakeGroup(std::move(nj), std::move(s));
       }
       MExpr new_union;
@@ -1029,11 +1033,12 @@ class MemoOptimizer {
   /// Creates a physical node for `expr` in group `gid`, annotating sizes.
   int MakePhysNode(PhysOpKind kind, const MExpr& expr, int gid,
                    std::vector<int> phys_children, double est_rows,
-                   double true_rows, int partitions, const Schema& schema) {
+                   double true_rows, int partitions,
+                   const std::shared_ptr<const Schema>& schema) {
     PhysicalNode node;
     node.kind = kind;
     node.children = std::move(phys_children);
-    node.schema = schema;
+    node.schema = schema;  // group-shared: refcount bump, no column copy
     node.table_path = expr.table_path;
     node.predicates = expr.predicates;
     node.projections = expr.projections;
@@ -1043,11 +1048,14 @@ class MemoOptimizer {
     node.true_fanout = expr.true_fanout;
     node.output_path = expr.output_path;
     node.est_rows = est_rows;
-    node.est_bytes = est_rows * schema.RowWidthBytes();
+    const double row_width = schema->RowWidthBytes();
+    node.est_bytes = est_rows * row_width;
     node.true_rows = true_rows;
-    node.true_bytes = true_rows * schema.RowWidthBytes();
+    node.true_bytes = true_rows * row_width;
     node.partitions = partitions;
     std::vector<double> child_rows, child_bytes;
+    child_rows.reserve(node.children.size());
+    child_bytes.reserve(node.children.size());
     for (int c : node.children) {
       child_rows.push_back(scratch_.node(c).est_rows);
       child_bytes.push_back(scratch_.node(c).est_bytes);
@@ -1127,14 +1135,14 @@ class MemoOptimizer {
     const Group& group = groups_[gid];
     const double est_rows = group.est.rows;
     const double tru_rows = group.tru.rows;
-    const Schema& schema = group.schema;
+    const std::shared_ptr<const Schema>& schema = group.schema;
     switch (expr.kind) {
       case LogicalOpKind::kScan: {
         if (!config_.IsEnabled(rules::kScanImpl)) return;
         if (!required.SatisfiedBy(PhysProp::Random())) return;
         // Parallelism follows the bytes the scan *reads* (the full table),
         // not its possibly-filtered output.
-        double table_bytes = est_rows * schema.RowWidthBytes();
+        double table_bytes = est_rows * schema->RowWidthBytes();
         auto table_stats = catalog_.Lookup(SymOf(expr.table_sym,
                                                  expr.table_path));
         if (table_stats.ok()) {
@@ -1254,7 +1262,7 @@ class MemoOptimizer {
   void ImplementJoin(int gid, const MExpr& expr, const PhysProp& required,
                      int depth, Winner* best) {
     const Group& group = groups_[gid];
-    const Schema& schema = group.schema;
+    const std::shared_ptr<const Schema>& schema = group.schema;
     const double est_rows = group.est.rows;
     const double tru_rows = group.tru.rows;
 
@@ -1295,7 +1303,7 @@ class MemoOptimizer {
               ? options_.broadcast_threshold_aggressive_bytes
               : options_.broadcast_threshold_bytes;
       const Group& right = groups_[expr.children[1]];
-      double right_bytes = right.est.rows * right.schema.RowWidthBytes();
+      double right_bytes = right.est.rows * right.schema->RowWidthBytes();
       if (right_bytes <= threshold) {
         Winner l = OptimizeGroup(expr.children[0], PhysProp::Any(), depth + 1);
         if (l.feasible) {
@@ -1326,7 +1334,7 @@ class MemoOptimizer {
   void ImplementAggregate(int gid, const MExpr& expr, const PhysProp& required,
                           int depth, Winner* best) {
     const Group& group = groups_[gid];
-    const Schema& schema = group.schema;
+    const std::shared_ptr<const Schema>& schema = group.schema;
     const double est_rows = group.est.rows;
     const double tru_rows = group.tru.rows;
 
@@ -1454,6 +1462,7 @@ class MemoOptimizer {
       // the scratch arena dies with this MemoOptimizer.
       PhysicalNode node = std::move(scratch_.node(id));
       std::vector<int> new_children;
+      new_children.reserve(node.children.size());
       for (int c : node.children) new_children.push_back(copy(c));
       node.children = std::move(new_children);
       total += node.local_cost;

@@ -53,7 +53,13 @@ struct PhysicalNode {
   int id = -1;
   PhysOpKind kind = PhysOpKind::kScan;
   std::vector<int> children;
-  scope::Schema schema;
+  /// Output schema, shared with the memo group that produced this node.
+  /// Immutable once built: the optimizer creates one Schema per memo group
+  /// and every physical candidate (often hundreds per group across rule
+  /// configs) holds a reference instead of a deep column-vector copy. May be
+  /// null for hand-assembled nodes in tests; consumers that read it must
+  /// tolerate null (an absent schema means width 0).
+  std::shared_ptr<const scope::Schema> schema;
 
   // Payload (meaningful per kind).
   std::string table_path;

@@ -28,6 +28,12 @@ AdvisorOptions AdvisorOptions::FromEnv() {
   o.obs.report_path = EnvString("QO_OBS_REPORT");
   o.obs.label = EnvString("QO_OBS_LABEL");
   o.obs.trace_path = EnvString("QO_TRACE");
+  if (const char* sample = std::getenv("QO_OBS_SAMPLE")) {
+    o.obs.span_sample_every = std::atoi(sample);
+    if (o.obs.span_sample_every < 1) o.obs.span_sample_every = 1;
+  }
+  const char* simd = std::getenv("QO_SIMD");
+  o.obs.simd = simd == nullptr || std::string(simd) != "0";
   if (const char* ms = std::getenv("QO_SERVICE_RETRAIN_MS")) {
     o.retrain_period_ms = std::atoi(ms);
     if (o.retrain_period_ms < 0) o.retrain_period_ms = 0;

@@ -19,6 +19,9 @@
 //   QO_GUARD + QO_FAULT_*      -> guard.{enabled,faults}
 //   QO_METRICS                 -> obs.metrics
 //   QO_OBS_REPORT / QO_OBS_LABEL / QO_TRACE -> obs.{report_path,label,trace_path}
+//   QO_OBS_SAMPLE              -> obs.span_sample_every
+//   QO_SIMD                    -> obs.simd (captured for run reports only;
+//                                 kernel dispatch reads the env itself once)
 //   QO_SERVICE_RETRAIN_MS      -> retrain_period_ms
 #ifndef QO_SERVICE_ADVISOR_OPTIONS_H_
 #define QO_SERVICE_ADVISOR_OPTIONS_H_
@@ -46,6 +49,13 @@ struct ObsOptions {
   std::string label;
   /// QO_TRACE: Chrome-trace sink path ("" = no trace).
   std::string trace_path;
+  /// QO_OBS_SAMPLE: record every Nth span per site (1 = every span).
+  /// Purely observational — sampled histograms, identical outputs.
+  int span_sample_every = 1;
+  /// QO_SIMD != "0": vectorized kernel dispatch active (modulo CPU
+  /// support). Captured so run reports can attribute timings to the
+  /// kernel table in use; the data plane is byte-identical either way.
+  bool simd = true;
 };
 
 /// Everything an AdvisorService (and the subsystems it constructs) is

@@ -20,7 +20,7 @@ WorkloadViewRow MakeViewRow(const workload::JobInstance& instance,
   for (const auto& node : compilation.plan.nodes) {
     row.est_cardinalities += node.est_rows;
     row.row_count += node.true_rows;
-    width_sum += node.schema.RowWidthBytes();
+    width_sum += node.schema ? node.schema->RowWidthBytes() : 0.0;
   }
   if (!compilation.plan.nodes.empty()) {
     row.avg_row_length =

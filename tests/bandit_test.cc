@@ -9,6 +9,7 @@
 #include "bandit/features.h"
 #include "bandit/personalizer.h"
 
+#include "common/kernels/kernels.h"
 #include "optimizer/rules.h"
 
 namespace qo::bandit {
@@ -22,15 +23,24 @@ bool IsCanonical(const std::vector<std::pair<uint32_t, double>>& entries) {
   return true;
 }
 
+/// SoA overload: the index column is strictly increasing and the value
+/// column stays parallel to it.
+bool IsCanonical(const SparseVector& v) {
+  if (v.values().size() != v.indices().size()) return false;
+  for (size_t i = 1; i < v.indices().size(); ++i) {
+    if (v.indices()[i - 1] >= v.indices()[i]) return false;
+  }
+  return true;
+}
+
 TEST(SparseVectorTest, CanonicalizeSortsCoalescesAndCachesNorm) {
   SparseVector v = SparseVector::Canonicalize(
       {{9, 1.0}, {3, 2.0}, {9, 0.5}, {1, -1.0}, {3, -2.0}});
   ASSERT_EQ(v.size(), 3u);
-  EXPECT_TRUE(IsCanonical(v.entries()));
-  EXPECT_EQ(v.entries()[0], (std::pair<uint32_t, double>{1, -1.0}));
-  // Coalesced to zero: the entry stays, at its summed value.
-  EXPECT_EQ(v.entries()[1], (std::pair<uint32_t, double>{3, 0.0}));
-  EXPECT_EQ(v.entries()[2], (std::pair<uint32_t, double>{9, 1.5}));
+  EXPECT_TRUE(IsCanonical(v));
+  EXPECT_EQ(v.indices(), (std::vector<uint32_t>{1, 3, 9}));
+  // Index 3 coalesced to zero: the entry stays, at its summed value.
+  EXPECT_EQ(v.values(), (std::vector<double>{-1.0, 0.0, 1.5}));
   EXPECT_DOUBLE_EQ(v.norm_sq(), 1.0 + 0.0 + 2.25);
 }
 
@@ -38,8 +48,8 @@ TEST(SparseVectorTest, CanonicalizeReducesIndicesIntoModelSpace) {
   SparseVector v =
       SparseVector::Canonicalize({{FeatureVector::kDim + 7, 1.0}, {7, 1.0}});
   ASSERT_EQ(v.size(), 1u);
-  EXPECT_EQ(v.entries()[0].first, 7u);
-  EXPECT_DOUBLE_EQ(v.entries()[0].second, 2.0);
+  EXPECT_EQ(v.indices()[0], 7u);
+  EXPECT_DOUBLE_EQ(v.values()[0], 2.0);
 }
 
 TEST(FeaturesTest, ContextIncludesSpanAndCooccurrences) {
@@ -82,7 +92,7 @@ TEST(FeaturesTest, CombineAddsQuadraticInteractions) {
   action.AddNamed("x", 1.0);
   SparseVector combined = CombineFeatures(shared, action);
   EXPECT_EQ(combined.size(), 2u + 1u + 2u);  // shared + action + cross
-  EXPECT_TRUE(IsCanonical(combined.entries()));
+  EXPECT_TRUE(IsCanonical(combined));
   EXPECT_DOUBLE_EQ(combined.norm_sq(), 5.0);
 }
 
@@ -97,7 +107,8 @@ TEST(FeaturesTest, CombineIsInvariantUnderInputPermutation) {
   action.AddNamed("y", 0.5);
   SparseVector c1 = CombineFeatures(shared_ab, action);
   SparseVector c2 = CombineFeatures(shared_ba, action);
-  EXPECT_EQ(c1.entries(), c2.entries());
+  EXPECT_EQ(c1.indices(), c2.indices());
+  EXPECT_EQ(c1.values(), c2.values());
   EXPECT_DOUBLE_EQ(c1.norm_sq(), c2.norm_sq());
 
   // And a trained model scores the two identically — the canonical form is
@@ -169,7 +180,7 @@ TEST(CbModelTest, DuplicateIndexDecaysWeightOncePerExample) {
   auto collided = std::make_shared<const SparseVector>(
       SparseVector::Canonicalize({{7, 1.0}, {7, 1.0}}));
   ASSERT_EQ(collided->size(), 1u);
-  EXPECT_DOUBLE_EQ(collided->entries()[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(collided->values()[0], 2.0);
   // The collided feature's norm counts the coalesced value once: (1+1)^2,
   // not 1^2 + 1^2.
   EXPECT_DOUBLE_EQ(collided->norm_sq(), 4.0);
@@ -185,6 +196,49 @@ TEST(CbModelTest, DuplicateIndexDecaysWeightOncePerExample) {
   // yielding -0.07 instead.
   model.TrainEpoch({{collided, 0.0, 1.0}});
   EXPECT_NEAR(model.Score(*single), 0.2, 1e-6);
+}
+
+TEST(CbModelTest, ScoreBatchBitIdenticalToPerArmScoreAcrossTables) {
+  // Train a model so the weights are non-trivial, then score a batch whose
+  // shape exercises every ScoreBatch path: a full block of four, a
+  // remainder block, arms of different lengths (per-lane tails), an empty
+  // arm, and a null arm. Each arm's batch score must equal its individual
+  // Score() bit for bit under both kernel tables.
+  CbModel model({.learning_rate = 0.2, .epochs = 30});
+  FeatureVector shared;
+  shared.AddNamed("bias", 1.0);
+  shared.AddNamed("ctx", 0.5);
+  std::vector<LoggedExample> examples;
+  for (int i = 0; i < 40; ++i) {
+    FeatureVector fa = BuildActionFeatures(10 + (i % 5), false);
+    examples.push_back(
+        {CombineFeaturesShared(shared, fa), (i % 5) * 0.5, 0.5});
+  }
+  model.Train(examples);
+
+  std::vector<std::shared_ptr<const SparseVector>> arms;
+  for (int i = 0; i < 9; ++i) {
+    FeatureVector fa = BuildActionFeatures(10 + i, i % 2 == 0);
+    arms.push_back(CombineFeaturesShared(shared, fa));
+  }
+  arms.push_back(std::make_shared<const SparseVector>());  // empty arm
+  arms.push_back(nullptr);                                 // null arm
+  ASSERT_EQ(arms.size() % kernels::kLanes, 3u);  // remainder block exists
+
+  std::vector<std::vector<double>> per_table;
+  for (const kernels::KernelTable* kt :
+       {&kernels::ScalarTable(), &kernels::Avx2Table()}) {
+    kernels::SetActiveTableForTest(kt);
+    std::vector<double> batch = model.ScoreBatch(arms);
+    ASSERT_EQ(batch.size(), arms.size());
+    for (size_t i = 0; i < arms.size(); ++i) {
+      const double single = arms[i] ? model.Score(*arms[i]) : 0.0;
+      EXPECT_EQ(batch[i], single) << kt->name << " arm=" << i;
+    }
+    per_table.push_back(std::move(batch));
+  }
+  kernels::SetActiveTableForTest(nullptr);
+  EXPECT_EQ(per_table[0], per_table[1]);
 }
 
 std::vector<RankableAction> ThreeActions() {
@@ -342,6 +396,46 @@ TEST(PersonalizerTest, IncrementalRetrainMatchesFullRetrain) {
   }
   EXPECT_EQ(incremental.telemetry().examples_trained,
             full.telemetry().examples_trained);
+}
+
+TEST(PersonalizerTest, RankPipelineByteIdenticalAcrossKernelTables) {
+  // The full rank -> reward -> retrain loop replayed once per kernel table
+  // (the QO_SIMD on/off states in one binary): choices, propensities, and
+  // the learned model must be bit-identical — ScoreBatch feeds the softmax
+  // tie-break RNG, so a single ulp of drift would change a choice.
+  const std::vector<const kernels::KernelTable*> tables = {
+      &kernels::ScalarTable(), &kernels::Avx2Table()};
+  std::vector<std::vector<int>> choices(tables.size());
+  std::vector<std::vector<double>> probabilities(tables.size());
+  std::vector<std::vector<double>> final_scores(tables.size());
+  FeatureVector context = SmallContext();
+  std::vector<RankableAction> actions = ThreeActions();
+  for (size_t t = 0; t < tables.size(); ++t) {
+    kernels::SetActiveTableForTest(tables[t]);
+    PersonalizerService service({.seed = 17, .retrain_interval = 25});
+    for (int i = 0; i < 100; ++i) {
+      RankRequest req;
+      req.event_id = "e";
+      req.event_id += std::to_string(i);
+      req.context = context;
+      req.actions = actions;
+      auto r = service.Rank(req);
+      ASSERT_TRUE(r.ok());
+      choices[t].push_back(r->chosen_index);
+      probabilities[t].push_back(r->probability);
+      double reward = r->chosen_index == 1 ? 2.0 : 0.5;
+      ASSERT_TRUE(service.Reward(r->event_id, reward).ok());
+    }
+    service.Retrain();
+    for (const auto& action : actions) {
+      final_scores[t].push_back(
+          service.model().Score(CombineFeatures(context, action.features)));
+    }
+  }
+  kernels::SetActiveTableForTest(nullptr);
+  EXPECT_EQ(choices[0], choices[1]);
+  EXPECT_EQ(probabilities[0], probabilities[1]);
+  EXPECT_EQ(final_scores[0], final_scores[1]);
 }
 
 TEST(PersonalizerTest, RetentionBoundsResidentEvents) {

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/kernels/kernels.h"
 #include "common/stats.h"
 #include "engine/engine.h"
 #include "exec/cluster.h"
@@ -500,6 +501,53 @@ TEST(PreparedPipelineTest, AggregateImpactByteIdenticalAcrossMatrix) {
       ExpectAggregateEqual(reference, prepared, label);
     }
   }
+}
+
+TEST(KernelTableExecTest, ExecuteRunsBitIdenticalAcrossTables) {
+  // The batched 4-lane sweep under the scalar and AVX2 kernel tables must
+  // produce the same bytes as per-seed Execute for every seed, including
+  // the remainder block (runs not a multiple of four).
+  scope::Catalog catalog = SimCatalog();
+  opt::PhysicalPlan plan = CompileTestPlan(catalog);
+  ClusterSimulator sim;
+  ExecutionProfile profile = sim.Prepare(plan, catalog);
+  std::vector<JobMetrics> reference;
+  for (int i = 0; i < 23; ++i) {
+    reference.push_back(sim.Execute(profile, 500 + static_cast<uint64_t>(i)));
+  }
+  for (const kernels::KernelTable* kt :
+       {&kernels::ScalarTable(), &kernels::Avx2Table()}) {
+    kernels::SetActiveTableForTest(kt);
+    std::vector<JobMetrics> batch = sim.ExecuteRuns(profile, 500, 23);
+    ASSERT_EQ(batch.size(), reference.size()) << kt->name;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      SCOPED_TRACE(std::string(kt->name) + " run " + std::to_string(i));
+      ExpectMetricsBitEqual(batch[i], reference[i]);
+    }
+  }
+  kernels::SetActiveTableForTest(nullptr);
+}
+
+TEST(KernelTableExecTest, PipelineByteIdenticalAcrossTablesAndThreads) {
+  // The QO_SIMD on/off acceptance matrix inside one binary: the full
+  // fig10-12/table2 aggregate-impact pipeline at 1 and 4 worker threads
+  // must be byte-identical under the scalar and AVX2 kernel tables.
+  kernels::SetActiveTableForTest(&kernels::ScalarTable());
+  experiments::AggregateImpactResult reference =
+      RunPipeline(/*prepared=*/1, /*compile_cache=*/1, /*threads=*/1);
+  ASSERT_GT(reference.matched_jobs, 0);
+  for (const kernels::KernelTable* kt :
+       {&kernels::ScalarTable(), &kernels::Avx2Table()}) {
+    kernels::SetActiveTableForTest(kt);
+    for (int threads : {1, 4}) {
+      if (kt == &kernels::ScalarTable() && threads == 1) continue;
+      char label[64];
+      std::snprintf(label, sizeof(label), "table=%s threads=%d", kt->name,
+                    threads);
+      ExpectAggregateEqual(reference, RunPipeline(1, 1, threads), label);
+    }
+  }
+  kernels::SetActiveTableForTest(nullptr);
 }
 
 // Parameterized: the variability knobs behave monotonically.

@@ -248,6 +248,32 @@ TEST(SpanTest, DisabledSpansRecordNothing) {
   EXPECT_EQ(h.Snapshot().total, before);
 }
 
+TEST(SpanTest, SamplingRecordsEveryNthExecution) {
+  MetricsOverrideGuard on(1);
+  SetSampleEveryForTest(10);
+  Histogram& h = Registry::Get().histogram("span.obs_test.sampled_span");
+  const uint64_t before = h.Snapshot().total;
+  for (int i = 0; i < 100; ++i) {
+    QO_OBS_SPAN("obs_test.sampled_span");
+  }
+  SetSampleEveryForTest(0);
+  // The site counter starts at this test's first execution, so exactly
+  // executions 0, 10, ..., 90 record.
+  EXPECT_EQ(h.Snapshot().total, before + 10);
+}
+
+TEST(SpanTest, DefaultSamplingRecordsEverySpan) {
+  MetricsOverrideGuard on(1);
+  SetSampleEveryForTest(1);
+  Histogram& h = Registry::Get().histogram("span.obs_test.unsampled_span");
+  const uint64_t before = h.Snapshot().total;
+  for (int i = 0; i < 25; ++i) {
+    QO_OBS_SPAN("obs_test.unsampled_span");
+  }
+  SetSampleEveryForTest(0);
+  EXPECT_EQ(h.Snapshot().total, before + 25);
+}
+
 // --- Run report -------------------------------------------------------------
 
 TEST(RunReportTest, JsonLineHasSeriesAndQuantiles) {
